@@ -1,0 +1,87 @@
+// Ablation — data distribution strategy: modulo vs consistent hashing
+// (ketama), across hash functions.
+//
+// The paper uses modulo for its balanced placement on a fixed server set and
+// names ketama as the path to elastic deployments (§3.1.2). This harness
+// measures (a) per-server stripe balance for a Montage-like key population,
+// (b) the fraction of keys remapped when one server joins, and (c)
+// end-to-end MemFS write/read bandwidth under both distributors.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "hash/distributor.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+namespace {
+
+std::vector<std::string> StripeKeyPopulation() {
+  std::vector<std::string> keys;
+  for (int f = 0; f < 400; ++f) {
+    for (int s = 0; s < 8; ++s) {
+      keys.push_back("/montage6/proj/p_" + std::to_string(10000 + f) +
+                     ".fits#" + std::to_string(s));
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+  const auto keys = StripeKeyPopulation();
+
+  std::cout << "# Ablation: distribution strategy on 32 servers, "
+            << keys.size() << " stripe keys\n";
+  Table table({"strategy", "hash", "balance cv", "remap % (+1 server)"});
+  for (bool ketama : {false, true}) {
+    for (auto kind :
+         {hash::HashKind::kFnv1a64, hash::HashKind::kMurmur3_64,
+          hash::HashKind::kJenkinsLookup3, hash::HashKind::kCrc32c}) {
+      auto before = ketama ? hash::MakeKetama(32, 160, kind)
+                           : hash::MakeModulo(32, kind);
+      auto after = ketama ? hash::MakeKetama(33, 160, kind)
+                          : hash::MakeModulo(33, kind);
+      std::vector<double> load(32, 0);
+      int moved = 0;
+      for (const auto& key : keys) {
+        ++load[before->ServerFor(key)];
+        moved += before->ServerFor(key) != after->ServerFor(key);
+      }
+      RunningStats stats;
+      for (double l : load) stats.Add(l);
+      table.AddRow({ketama ? "ketama" : "modulo",
+                    std::string(hash::ToString(kind)),
+                    Table::Num(stats.cv(), 3),
+                    Table::Num(100.0 * moved / static_cast<double>(keys.size()),
+                               1)});
+    }
+  }
+  table.Print(std::cout, csv);
+
+  std::cout << "\n# End-to-end MemFS envelope under both distributors "
+               "(8 nodes, 1 MiB files)\n";
+  Table e2e({"strategy", "write bw (MB/s)", "1-1 read bw (MB/s)"});
+  for (bool ketama : {false, true}) {
+    EnvelopeCellParams params;
+    params.nodes = 8;
+    params.file_size = units::MiB(1);
+    params.files_per_proc = 8;
+    params.meta_files_per_proc = 1;
+    params.memfs.use_ketama = ketama;
+    const EnvelopeCell cell = RunEnvelopeCell(params);
+    e2e.AddRow({ketama ? "ketama" : "modulo",
+                Table::Num(cell.write.BandwidthMBps()),
+                Table::Num(cell.read11.BandwidthMBps())});
+  }
+  e2e.Print(std::cout, csv);
+  std::cout << "\nReading: modulo balances best (cv ~0) but remaps nearly "
+               "everything on resize; ketama trades a little balance for "
+               "~1/N remapping — the paper's stated reason to keep modulo "
+               "for fixed deployments and ketama for elastic ones.\n";
+  return 0;
+}

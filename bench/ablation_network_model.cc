@@ -1,0 +1,85 @@
+// Ablation — count-based fair sharing vs exact max-min water-filling.
+//
+// DESIGN.md commits to the cheap FairShareNetwork for the reproduced
+// figures; this harness quantifies how far it sits from exact max-min
+// fairness (WaterfillNetwork) on the workloads that matter: the MTC
+// envelope and a deliberately skewed hotspot pattern where fair sharing
+// strands capacity.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  std::cout << "# Ablation: FairShare vs Waterfill network allocator "
+               "(MemFS envelope, 16 nodes, 1 MiB files)\n";
+  Table table({"metric", "FairShare", "Waterfill", "delta %"});
+
+  workloads::EnvelopeParams env;
+  env.nodes = 16;
+  env.file_size = units::MiB(1);
+  env.files_per_proc = 8;
+
+  double results[2][3];
+  for (int model = 0; model < 2; ++model) {
+    workloads::TestbedConfig config;
+    config.nodes = 16;
+    config.net_model = model == 0 ? workloads::NetModel::kFairShare
+                                  : workloads::NetModel::kWaterfill;
+    workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+    workloads::EnvelopeBench bench(bed.simulation(), bed.vfs(), env, nullptr);
+    results[model][0] = bench.RunWrite().BandwidthMBps();
+    results[model][1] = bench.RunRead11().BandwidthMBps();
+    results[model][2] = bench.RunReadN1().BandwidthMBps();
+  }
+  const char* names[3] = {"write bw (MB/s)", "1-1 read bw (MB/s)",
+                          "N-1 read bw (MB/s)"};
+  for (int m = 0; m < 3; ++m) {
+    const double fair = results[0][m];
+    const double water = results[1][m];
+    table.AddRow({names[m], Table::Num(fair), Table::Num(water),
+                  Table::Num(fair != 0 ? (water - fair) / fair * 100 : 0, 1)});
+  }
+  table.Print(std::cout, csv);
+
+  // Hotspot scenario: the watched flow 0->1 shares node 0's egress with a
+  // flow 0->2 that is ingress-bottlenecked at node 2 (which also receives
+  // from nodes 3 and 4). Fair sharing still charges the watched flow half
+  // the egress; max-min hands it the capacity flow 0->2 cannot use.
+  std::cout << "\n# Hotspot scenario: watched 0->1; 0->2, 3->2, 4->2 "
+               "congest node 2's ingress; 10 MB each\n";
+  Table hotspot({"model", "flow 0->1 completion (ms)"});
+  for (int model = 0; model < 2; ++model) {
+    sim::Simulation sim;
+    std::unique_ptr<net::Network> network;
+    if (model == 0) {
+      network = std::make_unique<net::FairShareNetwork>(sim,
+                                                        net::Das4Ipoib(5));
+    } else {
+      network = std::make_unique<net::WaterfillNetwork>(sim,
+                                                        net::Das4Ipoib(5));
+    }
+    auto watched = network->Transfer(0, 1, units::MB(10));
+    (void)network->Transfer(0, 2, units::MB(10));
+    (void)network->Transfer(3, 2, units::MB(10));
+    (void)network->Transfer(4, 2, units::MB(10));
+    sim::SimTime done = 0;
+    [](sim::VoidFuture f, sim::Simulation& s, sim::SimTime& out) -> sim::Task {
+      co_await f;
+      out = s.now();
+    }(watched, sim, done);
+    sim.Run();
+    hotspot.AddRow({model == 0 ? "FairShare" : "Waterfill",
+                    Table::Num(units::ToSeconds(done) * 1e3, 2)});
+  }
+  hotspot.Print(std::cout, csv);
+  std::cout << "\nReading: on the balanced envelope the models agree within "
+               "a few percent (symmetric striping leaves little stranded "
+               "capacity — itself a MemFS design validation); the hotspot "
+               "shows the worst-case gap.\n";
+  return 0;
+}

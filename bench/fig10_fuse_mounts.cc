@@ -1,0 +1,64 @@
+// Figures 10a/10b — MemFS vertical scalability on 4 EC2 c3.8xlarge nodes:
+// one FUSE mountpoint vs one mountpoint per application process.
+//
+// The FUSE kernel module serializes each mountpoint on a spinlock that
+// degrades under cross-NUMA contention. With a single mount, Montage stops
+// scaling past ~8 cores per node and gets *slower* at 16-32 (10a); giving
+// each process its own mountpoint removes the ceiling (10b).
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/montage.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  workloads::MontageParams m6;
+  m6.degree = 6;
+  m6.task_scale = 4;
+  m6.size_scale = 16;
+  m6.project_cpu_s = 6.0;
+  const auto workflow = workloads::BuildMontage(m6);
+
+  for (int variant = 0; variant < 2; ++variant) {
+    const bool per_process = variant == 1;
+    std::cout << "# Fig 10" << (per_process ? "b" : "a")
+              << ": Montage 6 on 4 EC2 nodes, "
+              << (per_process ? "one mountpoint per process"
+                              : "single FUSE mountpoint")
+              << " (task_scale=4, size_scale=16)\n";
+    Table table({"cores", "mProjectPP (s)", "mDiffFit (s)",
+                 "mBackground (s)", "makespan (s)"});
+    for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+      WorkflowCellParams params;
+      params.kind = workloads::FsKind::kMemFs;
+      params.fabric = workloads::Fabric::kEc2TenGbE;
+      params.nodes = 4;
+      params.cores_per_node = cores;
+      params.memfs.fuse.mounts_per_node = per_process ? cores : 1;
+      // Montage issues 4 KB read()/write() calls; on the c3.8xlarge NUMA
+      // nodes every call crosses the FUSE spinlock, whose critical section
+      // lengthens with cross-socket contention. These parameters model the
+      // contended kernel path the paper diagnosed.
+      params.io_block = units::KiB(4);
+      params.memfs.fuse.op_cost = units::Micros(25);
+      params.memfs.fuse.contention_factor = 0.30;
+      const auto cell = RunWorkflowCell(params, workflow);
+      table.AddRow({Table::Int(4 * cores),
+                    StageSpanOrDash(cell.result, "mProjectPP"),
+                    StageSpanOrDash(cell.result, "mDiffFit"),
+                    StageSpanOrDash(cell.result, "mBackground"),
+                    Table::Num(cell.result.MakespanSeconds(), 2)});
+    }
+    table.Print(std::cout, csv);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shapes: with one mount the stage times stop "
+               "improving past 8 cores/node and regress at 16-32 (spinlock "
+               "contention grows with waiters); with per-process mounts the "
+               "stages keep scaling until the NIC saturates.\n";
+  return 0;
+}

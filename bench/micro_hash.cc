@@ -1,0 +1,69 @@
+// CPU microbenchmarks for the hashing layer (google-benchmark): raw hash
+// throughput per function and key length, and end-to-end key-to-server
+// mapping cost for both distribution strategies. These are the per-stripe
+// client-side costs the MemFS data path pays on every operation.
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "hash/distributor.h"
+#include "hash/hash.h"
+
+namespace {
+
+using memfs::hash::HashKind;
+
+std::string MakeKey(std::size_t length) {
+  std::string key = "/montage6/proj/p_01234.fits#17";
+  while (key.size() < length) key += "abcdefgh";
+  key.resize(length);
+  return key;
+}
+
+void BM_Hash(benchmark::State& state) {
+  const auto kind = static_cast<HashKind>(state.range(0));
+  const std::string key = MakeKey(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memfs::hash::HashKey(kind, key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(key.size()));
+  state.SetLabel(std::string(memfs::hash::ToString(kind)));
+}
+BENCHMARK(BM_Hash)
+    ->ArgsProduct({{static_cast<int>(HashKind::kFnv1a64),
+                    static_cast<int>(HashKind::kMurmur3_64),
+                    static_cast<int>(HashKind::kJenkinsLookup3),
+                    static_cast<int>(HashKind::kCrc32c)},
+                   {16, 64, 256}});
+
+void BM_ModuloServerFor(benchmark::State& state) {
+  memfs::hash::ModuloDistributor dist(
+      static_cast<std::uint32_t>(state.range(0)));
+  const std::string key = MakeKey(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.ServerFor(key));
+  }
+}
+BENCHMARK(BM_ModuloServerFor)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_KetamaServerFor(benchmark::State& state) {
+  memfs::hash::KetamaDistributor dist(
+      static_cast<std::uint32_t>(state.range(0)), 160);
+  const std::string key = MakeKey(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.ServerFor(key));
+  }
+}
+BENCHMARK(BM_KetamaServerFor)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_KetamaConstruction(benchmark::State& state) {
+  const auto servers = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    memfs::hash::KetamaDistributor dist(servers, 160);
+    benchmark::DoNotOptimize(dist.server_count());
+  }
+}
+BENCHMARK(BM_KetamaConstruction)->Arg(64)->Arg(256);
+
+}  // namespace

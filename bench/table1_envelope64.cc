@@ -1,0 +1,85 @@
+// Table 1 — MTC Envelope at scale 64, file size 1 MB, in MB/s, on both the
+// premium (IPoIB) and commodity (1 GbE) fabrics, including the AMFS remote
+// 1-1 read row (the worst case when a task reads more than one input file).
+//
+// Paper's headline ratios: AMFS remote 1-1 read degrades ~4x vs local on
+// IPoIB and ~7x on 1GbE; MemFS beats AMFS-remote by ~4.6x on IPoIB and still
+// by ~1.4x when MemFS runs on the much slower 1GbE.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+  constexpr std::uint32_t kNodes = 64;
+
+  EnvelopeCell cells[2][2];  // [fabric][fs]
+  const workloads::Fabric fabrics[2] = {workloads::Fabric::kDas4Ipoib,
+                                        workloads::Fabric::kDas4GbE};
+  for (int f = 0; f < 2; ++f) {
+    for (int k = 0; k < 2; ++k) {
+      EnvelopeCellParams params;
+      params.nodes = kNodes;
+      params.fabric = fabrics[f];
+      params.file_size = units::MiB(1);
+      params.files_per_proc = 8;
+      params.meta_files_per_proc = 64;
+      params.run_remote_read = true;
+      params.kind = k == 0 ? workloads::FsKind::kAmfs
+                           : workloads::FsKind::kMemFs;
+      cells[f][k] = RunEnvelopeCell(params);
+    }
+  }
+
+  std::cout << "# Table 1: MTC Envelope, 64 nodes, 1 MB files (MB/s; "
+               "create/open in op/s)\n";
+  Table table({"metric", "AMFS IPoIB", "MemFS IPoIB", "AMFS 1GbE",
+               "MemFS 1GbE"});
+  auto row = [&](const char* name, auto getter) {
+    table.AddRow({name, Table::Num(getter(cells[0][0]), 0),
+                  Table::Num(getter(cells[0][1]), 0),
+                  Table::Num(getter(cells[1][0]), 0),
+                  Table::Num(getter(cells[1][1]), 0)});
+  };
+  row("Write Bw", [](const EnvelopeCell& c) {
+    return c.write.BandwidthMBps();
+  });
+  row("1-1 Read Bw", [](const EnvelopeCell& c) {
+    return c.read11.BandwidthMBps();
+  });
+  row("1-1 Read Bw (remote)", [](const EnvelopeCell& c) {
+    return c.read11_remote.BandwidthMBps();
+  });
+  row("N-1 Read Bw", [](const EnvelopeCell& c) {
+    return c.readn1.BandwidthMBps();
+  });
+  row("Create (op/s)", [](const EnvelopeCell& c) {
+    return c.create.OpsPerSec();
+  });
+  row("Open (op/s)", [](const EnvelopeCell& c) {
+    return c.open.OpsPerSec();
+  });
+  table.Print(std::cout, csv);
+
+  const double amfs_local = cells[0][0].read11.BandwidthMBps();
+  const double amfs_remote = cells[0][0].read11_remote.BandwidthMBps();
+  const double memfs_ipoib = cells[0][1].read11.BandwidthMBps();
+  const double amfs_remote_gbe = cells[1][0].read11_remote.BandwidthMBps();
+  const double memfs_gbe = cells[1][1].read11.BandwidthMBps();
+  std::cout << "\nderived ratios (paper values in parentheses):\n";
+  std::cout << "  AMFS remote 1-1 degradation, IPoIB: "
+            << Table::Num(amfs_local / amfs_remote, 2) << "x (~4x)\n";
+  std::cout << "  AMFS remote 1-1 degradation, 1GbE:  "
+            << Table::Num(cells[1][0].read11.BandwidthMBps() /
+                              amfs_remote_gbe,
+                          2)
+            << "x (~7x)\n";
+  std::cout << "  MemFS vs AMFS-remote, IPoIB: "
+            << Table::Num(memfs_ipoib / amfs_remote, 2) << "x (4.63x)\n";
+  std::cout << "  MemFS-1GbE vs AMFS-remote-1GbE: "
+            << Table::Num(memfs_gbe / amfs_remote_gbe, 2) << "x (1.4x)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// BLAST example: the paper's bioinformatics workload on MemFS. A sequence
+// database is split into fragments, formatted, queried by a swarm of
+// blastall tasks (each reading a DB fragment AND a query batch), and merged
+// — demonstrating the two-input access pattern that defeats locality-based
+// scheduling, plus vertical scaling on a fixed node count.
+//
+//   $ ./build/examples/blast_search
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "mtc/runner.h"
+#include "mtc/scheduler.h"
+#include "workloads/blast.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace memfs;  // NOLINT: example brevity
+
+mtc::WorkflowResult RunBlast(std::uint32_t nodes, std::uint32_t cores,
+                             const mtc::Workflow& workflow) {
+  workloads::TestbedConfig config;
+  config.nodes = nodes;
+  config.fabric = workloads::Fabric::kEc2TenGbE;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  mtc::UniformScheduler scheduler;
+  mtc::Runner runner(bed.simulation(), bed.vfs(), scheduler,
+                     {.nodes = nodes, .cores_per_node = cores,
+                      .io_block = units::KiB(256)});
+  return runner.Run(workflow);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  workloads::BlastParams params;
+  params.fragments = 512;
+  params.task_scale = 32;       // 16 fragments
+  params.size_scale = 128;      // ~870 KB fragments
+  params.queries_per_fragment = 4;
+  params.formatdb_cpu_s = 4.0;
+  params.blastall_cpu_s = 1.5;
+  const mtc::Workflow workflow = workloads::BuildBlast(params);
+
+  std::printf(
+      "BLAST nt search on MemFS (EC2 10GbE fabric): %zu tasks, %.1f MB "
+      "runtime data\n\n",
+      workflow.tasks.size(),
+      static_cast<double>(workflow.TotalOutputBytes()) / 1e6);
+
+  Table table({"cores (8 nodes)", "formatdb (s)", "blastall (s)", "merge (s)",
+               "makespan (s)"});
+  for (std::uint32_t cores : {1u, 2u, 4u}) {
+    const auto result = RunBlast(8, cores, workflow);
+    if (!result.status.ok()) {
+      std::printf("run failed: %s\n", result.status.ToString().c_str());
+      return 1;
+    }
+    const auto* formatdb = result.Stage("formatdb");
+    const auto* blastall = result.Stage("blastall");
+    const auto* merge = result.Stage("merge");
+    table.AddRow({Table::Int(8 * cores),
+                  Table::Num(formatdb ? formatdb->SpanSeconds() : 0, 2),
+                  Table::Num(blastall ? blastall->SpanSeconds() : 0, 2),
+                  Table::Num(merge ? merge->SpanSeconds() : 0, 2),
+                  Table::Num(result.MakespanSeconds(), 2)});
+  }
+  table.Print(std::cout, csv);
+  std::printf(
+      "\nformatdb is CPU-bound (scales with cores); blastall is I/O-bound\n"
+      "and flattens once the NICs saturate — the paper's Fig. 13 behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// MTC-Envelope probe: measure the eight envelope metrics of §4.1 for a
+// cluster size and file size of your choosing, against either file system.
+//
+//   $ ./build/examples/envelope_probe [nodes] [file_kb] [memfs|amfs]
+//
+// Prints write / 1-1 read / N-1 read bandwidth + throughput and the
+// create/open metadata rates — the probe the paper uses to characterize a
+// deployment before running real workflows on it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "workloads/envelope.h"
+#include "workloads/testbed.h"
+
+int main(int argc, char** argv) {
+  using namespace memfs;  // NOLINT: example brevity
+
+  std::uint32_t nodes = 16;
+  std::uint64_t file_kb = 1024;
+  workloads::FsKind kind = workloads::FsKind::kMemFs;
+  if (argc > 1) nodes = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) file_kb = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  if (argc > 3 && std::strcmp(argv[3], "amfs") == 0) {
+    kind = workloads::FsKind::kAmfs;
+  }
+
+  workloads::TestbedConfig config;
+  config.nodes = nodes;
+  workloads::Testbed bed(kind, config);
+
+  workloads::EnvelopeParams params;
+  params.nodes = nodes;
+  params.file_size = units::KiB(file_kb);
+  params.files_per_proc = 8;
+  workloads::EnvelopeBench bench(bed.simulation(), bed.vfs(), params,
+                                 bed.amfs());
+
+  std::printf("MTC Envelope: %s, %u nodes, %llu KB files, %s fabric\n\n",
+              std::string(ToString(kind)).c_str(), nodes,
+              static_cast<unsigned long long>(file_kb),
+              std::string(ToString(config.fabric)).c_str());
+
+  const auto write = bench.RunWrite();
+  const auto read11 = bench.RunRead11();
+  const auto readn1 = bench.RunReadN1();
+  const auto create = bench.RunCreate(64);
+  const auto open = bench.RunOpen();
+
+  Table table({"metric", "bandwidth (MB/s)", "throughput (op/s)"});
+  table.AddRow({"write", Table::Num(write.BandwidthMBps()),
+                Table::Num(write.OpsPerSec(), 0)});
+  table.AddRow({"1-1 read", Table::Num(read11.BandwidthMBps()),
+                Table::Num(read11.OpsPerSec(), 0)});
+  table.AddRow({"N-1 read", Table::Num(readn1.BandwidthMBps()),
+                Table::Num(readn1.OpsPerSec(), 0)});
+  table.AddRow({"create", "-", Table::Num(create.OpsPerSec(), 0)});
+  table.AddRow({"open", "-", Table::Num(open.OpsPerSec(), 0)});
+  table.Print(std::cout, WantCsv(argc, argv));
+  return 0;
+}

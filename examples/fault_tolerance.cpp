@@ -1,0 +1,105 @@
+// Fault-tolerance example: MemFS with stripe replication (the paper's
+// §3.2.5 future work). Writes a dataset with replication factor 2, kills a
+// storage server mid-experiment, and shows reads transparently failing over
+// to the surviving replicas — then contrasts the unreplicated configuration,
+// where the same failure loses data.
+//
+//   $ ./build/examples/fault_tolerance
+#include <cstdio>
+
+#include "common/units.h"
+#include "memfs/memfs.h"
+#include "mtc/workflow.h"
+#include "sim/task.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace memfs;         // NOLINT: example brevity
+using namespace memfs::units;  // NOLINT
+
+constexpr std::uint32_t kNodes = 8;
+constexpr int kFiles = 16;
+
+sim::Task WriteDataset(workloads::Testbed& bed, int& written) {
+  fs::Vfs& vfs = bed.vfs();
+  for (int f = 0; f < kFiles; ++f) {
+    const fs::VfsContext ctx{static_cast<net::NodeId>(f % kNodes), 0};
+    const std::string path = "/data_" + std::to_string(f);
+    auto handle = co_await vfs.Create(ctx, path);
+    if (!handle.ok()) co_return;
+    (void)co_await vfs.Write(
+        ctx, handle.value(), Bytes::Synthetic(MiB(2), mtc::FileSeed(path)));
+    if ((co_await vfs.Close(ctx, handle.value())).ok()) ++written;
+  }
+}
+
+sim::Task ReadDataset(workloads::Testbed& bed, int& readable) {
+  fs::Vfs& vfs = bed.vfs();
+  for (int f = 0; f < kFiles; ++f) {
+    const fs::VfsContext ctx{static_cast<net::NodeId>((f + 1) % kNodes), 0};
+    const std::string path = "/data_" + std::to_string(f);
+    auto handle = co_await vfs.Open(ctx, path);
+    if (!handle.ok()) continue;
+    std::uint64_t offset = 0;
+    bool ok = true;
+    while (true) {
+      auto chunk = co_await vfs.Read(ctx, handle.value(), offset, MiB(1));
+      if (!chunk.ok()) {
+        ok = false;
+        break;
+      }
+      if (chunk->empty()) break;
+      const Bytes expected = Bytes::Synthetic(offset + chunk->size(),
+                                              mtc::FileSeed(path))
+                                 .Slice(offset, chunk->size());
+      if (!expected.ContentEquals(*chunk)) ok = false;
+      offset += chunk->size();
+    }
+    (void)co_await vfs.Close(ctx, handle.value());
+    if (ok && offset == MiB(2)) ++readable;
+  }
+}
+
+void RunScenario(std::uint32_t replication) {
+  workloads::TestbedConfig config;
+  config.nodes = kNodes;
+  config.memfs.replication = replication;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+
+  int written = 0;
+  WriteDataset(bed, written);
+  bed.simulation().Run();
+
+  std::printf("replication=%u: wrote %d/%d files (%.1f MB stored across the "
+              "cluster)\n",
+              replication, written, kFiles,
+              static_cast<double>(bed.TotalMemoryUsed()) / 1e6);
+
+  bed.storage()->SetServerDown(3, true);
+  std::printf("  >> server 3 goes down\n");
+
+  int readable = 0;
+  ReadDataset(bed, readable);
+  bed.simulation().Run();
+  std::printf("  readable after failure: %d/%d files", readable, kFiles);
+  if (replication > 1) {
+    std::printf(" (%llu reads failed over to a surviving replica)",
+                static_cast<unsigned long long>(
+                    bed.memfs()->stats().replica_failovers));
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MemFS fault-tolerance demo: %d files of 2 MiB on %u nodes, "
+              "one server killed\n\n",
+              kFiles, kNodes);
+  RunScenario(/*replication=*/1);
+  RunScenario(/*replication=*/2);
+  std::printf("Replication keeps every file readable at the cost the paper "
+              "predicts: half the capacity, twice the write traffic.\n");
+  return 0;
+}

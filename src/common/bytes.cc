@@ -1,0 +1,203 @@
+#include "common/bytes.h"
+
+#include <cassert>
+
+namespace memfs {
+namespace {
+
+std::uint64_t SplitMix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// The fingerprint is a positional checksum: F = sum over output positions p
+// of (p+1) * value(p) mod 2^64, where value(p) is (byte+1) for real content
+// and a per-seed linear sequence A*k+B for synthetic content at source index
+// k. It is split-invariant (any decomposition of the same assembly yields the
+// same sum) and position-sensitive (reordering or misplacing ranges changes
+// the weights), which is exactly what the file-system read-back checks need.
+
+std::uint64_t PatternA(std::uint64_t seed) { return SplitMix(seed) | 1; }
+std::uint64_t PatternB(std::uint64_t seed) {
+  return SplitMix(seed ^ 0x5bf03635aca1fd4full);
+}
+
+// Sum of j for j in [0, n) and of j^2 for j in [0, n), mod 2^64. Payload
+// sizes are bounded well below 2^41 so the 128-bit intermediates are exact.
+std::uint64_t SumJ(std::uint64_t n) {
+  if (n == 0) return 0;
+  __uint128_t prod = static_cast<__uint128_t>(n) * (n - 1) / 2;
+  return static_cast<std::uint64_t>(prod);
+}
+
+std::uint64_t SumJ2(std::uint64_t n) {
+  if (n == 0) return 0;
+  assert(n < (1ull << 41) && "payload too large for exact checksum algebra");
+  __uint128_t prod = static_cast<__uint128_t>(n - 1) * n;
+  prod = prod * (2 * n - 1) / 6;
+  return static_cast<std::uint64_t>(prod);
+}
+
+// Closed-form fingerprint contribution of placing the synthetic source range
+// [src, src+len) (content value A*k+B at source index k) at output offset
+// `out`:  sum_{j=0}^{len-1} (out+j+1) * (A*(src+j) + B).
+std::uint64_t SyntheticContribution(std::uint64_t seed, std::uint64_t src,
+                                    std::uint64_t out, std::uint64_t len) {
+  const std::uint64_t a = PatternA(seed);
+  const std::uint64_t b = PatternB(seed);
+  const std::uint64_t s1 = SumJ(len);
+  const std::uint64_t s2 = SumJ2(len);
+  const std::uint64_t t1 = out + 1;
+  // A * [len*(t+1)*s + (t+1+s)*S1 + S2] + B * [len*(t+1) + S1]
+  std::uint64_t term = len * t1 * src + (t1 + src) * s1 + s2;
+  return a * term + b * (len * t1 + s1);
+}
+
+// Contribution of real bytes `data[0..len)` placed at output offset `out`.
+std::uint64_t RealContribution(const std::uint8_t* data, std::uint64_t len,
+                               std::uint64_t out) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t j = 0; j < len; ++j) {
+    sum += (out + j + 1) * (static_cast<std::uint64_t>(data[j]) + 1);
+  }
+  return sum;
+}
+
+}  // namespace
+
+Bytes Bytes::Copy(std::string_view data) {
+  Bytes out;
+  out.storage_.assign(data.begin(), data.end());
+  out.size_ = out.storage_.size();
+  out.fingerprint_ = RealContribution(out.storage_.data(), out.size_, 0);
+  return out;
+}
+
+Bytes Bytes::Own(std::vector<std::uint8_t> data) {
+  Bytes out;
+  out.storage_ = std::move(data);
+  out.size_ = out.storage_.size();
+  out.fingerprint_ = RealContribution(out.storage_.data(), out.size_, 0);
+  return out;
+}
+
+std::uint8_t Bytes::PatternByte(std::uint64_t seed, std::uint64_t index) {
+  const std::uint64_t word = SplitMix(seed ^ (index >> 3));
+  return static_cast<std::uint8_t>(word >> (8 * (index & 7)));
+}
+
+Bytes Bytes::Pattern(std::size_t size, std::uint64_t seed) {
+  std::vector<std::uint8_t> data(size);
+  for (std::size_t i = 0; i < size; ++i) data[i] = PatternByte(seed, i);
+  return Own(std::move(data));
+}
+
+Bytes Bytes::Synthetic(std::size_t size, std::uint64_t seed) {
+  Bytes out;
+  out.real_ = false;
+  out.size_ = size;
+  out.pattern_seed_ = seed;
+  out.pattern_offset_ = 0;
+  out.sliceable_synthetic_ = true;
+  out.fingerprint_ = SyntheticContribution(seed, 0, 0, size);
+  return out;
+}
+
+std::string_view Bytes::view() const {
+  assert(real_ && "view() on a synthetic payload");
+  return {reinterpret_cast<const char*>(storage_.data()), storage_.size()};
+}
+
+const std::vector<std::uint8_t>& Bytes::data() const {
+  assert(real_ && "data() on a synthetic payload");
+  return storage_;
+}
+
+Bytes Bytes::Slice(std::size_t offset, std::size_t length) const {
+  if (offset >= size_) return Bytes();
+  const std::size_t len = std::min(length, size_ - offset);
+  if (real_) {
+    Bytes out;
+    out.storage_.assign(storage_.begin() + static_cast<std::ptrdiff_t>(offset),
+                        storage_.begin() +
+                            static_cast<std::ptrdiff_t>(offset + len));
+    out.size_ = len;
+    out.fingerprint_ = RealContribution(out.storage_.data(), len, 0);
+    return out;
+  }
+  Bytes out;
+  out.real_ = false;
+  out.size_ = len;
+  if (sliceable_synthetic_) {
+    out.pattern_seed_ = pattern_seed_;
+    out.pattern_offset_ = pattern_offset_ + offset;
+    out.sliceable_synthetic_ = true;
+    out.fingerprint_ =
+        SyntheticContribution(pattern_seed_, pattern_offset_ + offset, 0, len);
+  } else {
+    // A synthetic payload assembled from heterogeneous pieces has no
+    // closed-form sub-range content; the slice is still deterministic but is
+    // only equal to another slice taken the same way from an equal parent.
+    out.sliceable_synthetic_ = false;
+    out.fingerprint_ =
+        SplitMix(fingerprint_ ^ SplitMix(offset) ^ SplitMix(len * 0x9e37ull));
+  }
+  return out;
+}
+
+void Bytes::Append(const Bytes& other) {
+  if (other.empty()) return;
+  const std::uint64_t out_offset = size_;
+  if (real_ && other.real_) {
+    storage_.insert(storage_.end(), other.storage_.begin(),
+                    other.storage_.end());
+    fingerprint_ +=
+        RealContribution(other.storage_.data(), other.size_, out_offset);
+    size_ += other.size_;
+    return;
+  }
+  // Mixed or synthetic append: the result is synthetic. Track source
+  // contiguity so that slices of a stream written in order stay verifiable.
+  std::uint64_t contribution;
+  if (other.real_) {
+    contribution =
+        RealContribution(other.storage_.data(), other.size_, out_offset);
+  } else if (other.sliceable_synthetic_) {
+    contribution = SyntheticContribution(other.pattern_seed_,
+                                         other.pattern_offset_, out_offset,
+                                         other.size_);
+  } else {
+    // No closed form for the appended content; fold its fingerprint in a
+    // position-dependent way.
+    contribution = SplitMix(other.fingerprint_ ^ SplitMix(out_offset));
+  }
+
+  const bool continues_pattern =
+      !real_ && !other.real_ && sliceable_synthetic_ &&
+      other.sliceable_synthetic_ && other.pattern_seed_ == pattern_seed_ &&
+      other.pattern_offset_ == pattern_offset_ + size_;
+  const bool starts_pattern = empty() && !other.real_ &&
+                              other.sliceable_synthetic_;
+
+  if (starts_pattern) {
+    pattern_seed_ = other.pattern_seed_;
+    pattern_offset_ = other.pattern_offset_;
+    sliceable_synthetic_ = true;
+  } else if (!continues_pattern) {
+    sliceable_synthetic_ = false;
+  }
+  real_ = false;
+  storage_.clear();
+  storage_.shrink_to_fit();
+  fingerprint_ += contribution;
+  size_ += other.size_;
+}
+
+std::uint64_t Bytes::FingerprintOf(const std::uint8_t* data, std::size_t size,
+                                   std::uint64_t seed) {
+  return RealContribution(data, size, 0) ^ seed;
+}
+
+}  // namespace memfs

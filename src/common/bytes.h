@@ -1,0 +1,89 @@
+// Payload representation for stored objects.
+//
+// The simulator runs workflows that generate hundreds of gigabytes of
+// intermediate data (Montage 16x16 produces ~450 GB in the paper). Storing
+// those bytes for real would be impossible, and unnecessary: the experiments
+// only depend on sizes and on end-to-end content integrity. `Bytes` therefore
+// has two forms sharing one interface:
+//
+//  * real     — owns a byte vector; used by unit tests, the examples, and any
+//               workload small enough to materialize.
+//  * synthetic — carries only (size, fingerprint); slicing and concatenation
+//               update the fingerprint deterministically, so a read-back
+//               mismatch is still detectable without holding the data.
+//
+// Both forms support Slice/Append so the striping and buffering code paths in
+// the file-system clients are identical regardless of payload form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memfs {
+
+class Bytes {
+ public:
+  Bytes() = default;
+
+  // Real payloads.
+  static Bytes Copy(std::string_view data);
+  static Bytes Own(std::vector<std::uint8_t> data);
+  // Deterministic pseudo-random content of `size` bytes derived from `seed`.
+  static Bytes Pattern(std::size_t size, std::uint64_t seed);
+
+  // Synthetic payload: size-only with the fingerprint the equivalent
+  // Pattern() payload would have, so synthetic and real runs agree.
+  static Bytes Synthetic(std::size_t size, std::uint64_t seed);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_real() const { return real_; }
+
+  // 64-bit positional content checksum: invariant under re-splitting the
+  // same assembly, sensitive to reordered or misplaced ranges. Real and
+  // synthetic payloads use different content domains, so fingerprints are
+  // comparable within one family (which is how the file systems use them).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  // Read-only view of real content. Precondition: is_real().
+  std::string_view view() const;
+  const std::vector<std::uint8_t>& data() const;
+
+  // Sub-range [offset, offset+length); clamps to the payload end.
+  Bytes Slice(std::size_t offset, std::size_t length) const;
+
+  // Concatenation (used by the directory-append metadata protocol and the
+  // write buffer). Appending a synthetic payload to a real one degrades the
+  // result to synthetic.
+  void Append(const Bytes& other);
+
+  // Two payloads are content-equal when sizes and fingerprints agree (exact
+  // for real payloads, collision-resistant check for synthetic ones).
+  bool ContentEquals(const Bytes& other) const {
+    return size_ == other.size_ && fingerprint_ == other.fingerprint_;
+  }
+
+  // The logical memory footprint this payload represents on a server,
+  // regardless of physical form.
+  std::size_t StoredSize() const { return size_; }
+
+ private:
+  static std::uint64_t FingerprintOf(const std::uint8_t* data,
+                                     std::size_t size, std::uint64_t seed);
+  static std::uint8_t PatternByte(std::uint64_t seed, std::uint64_t index);
+
+  bool real_ = true;
+  std::size_t size_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<std::uint8_t> storage_;  // empty when synthetic
+
+  // Synthetic payloads remember their generator so slices stay verifiable.
+  std::uint64_t pattern_seed_ = 0;
+  std::uint64_t pattern_offset_ = 0;
+  bool sliceable_synthetic_ = false;
+};
+
+}  // namespace memfs

@@ -1,0 +1,70 @@
+// Operation-latency instrumentation.
+//
+// LatencyHistogram is a log-bucketed histogram over nanosecond latencies
+// (buckets grow by ~sqrt(2), covering 1 ns to ~100 s in 74 buckets), cheap
+// enough to record every simulated operation. MetricsRegistry keys
+// histograms by operation name; the storage layer and the MemFS client
+// record into one when configured, and `micro_latency_profile` prints the
+// resulting percentile table — the per-op breakdown behind every aggregate
+// number in the reproduced figures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace memfs {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 74;
+
+  void Record(std::uint64_t nanos);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min_nanos() const { return count_ ? min_ : 0; }
+  std::uint64_t max_nanos() const { return max_; }
+  double MeanNanos() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  // Approximate quantile (bucket upper bound interpolation); q in [0, 1].
+  double PercentileNanos(double q) const;
+
+  void Merge(const LatencyHistogram& other);
+
+  // Bucket upper bound in nanoseconds (exposed for tests).
+  static std::uint64_t BucketUpperBound(std::size_t bucket);
+
+ private:
+  static std::size_t BucketFor(std::uint64_t nanos);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the histogram for `name`, creating it on first use. References
+  // stay valid for the registry's lifetime.
+  LatencyHistogram& Histogram(std::string_view name);
+
+  const std::map<std::string, LatencyHistogram, std::less<>>& all() const {
+    return histograms_;
+  }
+
+  // Aligned percentile table (name, count, mean, p50, p90, p99, max in µs).
+  void Report(std::ostream& os, bool csv = false) const;
+
+ private:
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+};
+
+}  // namespace memfs

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic choice in the simulator and the workload generators draws
+// from an explicitly seeded Rng so that reruns are bit-identical; nothing in
+// the repository reads the wall clock or std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace memfs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors, so that
+    // nearby seeds still yield decorrelated streams.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t Below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the closed range [lo, hi].
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Creates an independent child stream; used to give each simulated node or
+  // task its own generator without sharing mutable state.
+  Rng Fork() { return Rng(Next() ^ 0xda3e39cb94b95bdbull); }
+
+  // std::uniform_random_bit_generator interface, so Rng plugs into
+  // std::shuffle and <random> distributions.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return Next(); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace memfs

@@ -1,0 +1,87 @@
+// Lightweight descriptive statistics used by the benchmark harnesses and the
+// per-server/per-node accounting (memory balance, bandwidth series).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace memfs {
+
+// Streaming min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Coefficient of variation; the storage-balance metric used when comparing
+  // MemFS striping against AMFS local writes.
+  double cv() const { return mean() != 0.0 ? stddev() / mean() : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed set of samples with exact quantiles; fine at benchmark scale.
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+  double Quantile(double q) {
+    if (values_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    const double pos = q * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Median() { return Quantile(0.5); }
+
+  RunningStats Summary() const {
+    RunningStats out;
+    for (double v : values_) out.Add(v);
+    return out;
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace memfs

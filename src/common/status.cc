@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace memfs {
+
+std::string_view ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kExists: return "EXISTS";
+    case ErrorCode::kPermission: return "PERMISSION";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotDirectory: return "NOT_DIRECTORY";
+    case ErrorCode::kIsDirectory: return "IS_DIRECTORY";
+    case ErrorCode::kNotEmpty: return "NOT_EMPTY";
+    case ErrorCode::kNoSpace: return "NO_SPACE";
+    case ErrorCode::kTooLarge: return "TOO_LARGE";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kBadHandle: return "BAD_HANDLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(memfs::ToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace memfs

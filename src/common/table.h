@@ -1,0 +1,45 @@
+// Aligned text-table and CSV emission for the benchmark harnesses.
+//
+// Every `bench/` binary prints the same rows/series the corresponding paper
+// table or figure reports; this helper keeps that output consistent and
+// machine-readable (`--csv`).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memfs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatting.
+  static std::string Num(double value, int precision = 1);
+  static std::string Int(std::uint64_t value);
+
+  void PrintText(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  // Honours a "--csv" argument if present; text otherwise.
+  void Print(std::ostream& os, bool csv) const {
+    if (csv) {
+      PrintCsv(os);
+    } else {
+      PrintText(os);
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// True when argv contains "--csv"; shared by all bench mains.
+bool WantCsv(int argc, char** argv);
+
+}  // namespace memfs

@@ -1,0 +1,62 @@
+// Byte-size and simulated-time units used throughout the MemFS reproduction.
+//
+// Simulated time is an integer count of nanoseconds (see sim/clock.h); all
+// durations in configuration structs use these helpers so call sites read
+// like the paper ("512 KB stripes", "1 GB/s NIC").
+#pragma once
+
+#include <cstdint>
+
+namespace memfs::units {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+// Decimal units: network bandwidths are quoted in MB/s = 1e6 B/s as in the
+// paper's figures.
+inline constexpr std::uint64_t kKB = 1000ull;
+inline constexpr std::uint64_t kMB = 1000ull * kKB;
+inline constexpr std::uint64_t kGB = 1000ull * kMB;
+
+inline constexpr std::uint64_t kNanosPerMicro = 1000ull;
+inline constexpr std::uint64_t kNanosPerMilli = 1000ull * kNanosPerMicro;
+inline constexpr std::uint64_t kNanosPerSec = 1000ull * kNanosPerMilli;
+
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * kKiB; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n * kMiB; }
+constexpr std::uint64_t GiB(std::uint64_t n) { return n * kGiB; }
+constexpr std::uint64_t MB(std::uint64_t n) { return n * kMB; }
+constexpr std::uint64_t GB(std::uint64_t n) { return n * kGB; }
+
+constexpr std::uint64_t Micros(std::uint64_t n) { return n * kNanosPerMicro; }
+constexpr std::uint64_t Millis(std::uint64_t n) { return n * kNanosPerMilli; }
+constexpr std::uint64_t Seconds(std::uint64_t n) { return n * kNanosPerSec; }
+
+// Converts a simulated duration to (floating) seconds for reporting.
+constexpr double ToSeconds(std::uint64_t nanos) {
+  return static_cast<double>(nanos) / static_cast<double>(kNanosPerSec);
+}
+
+// Bandwidth helper: bytes transferred over a duration, reported in MB/s
+// (decimal, matching the paper's axes).
+constexpr double MBps(std::uint64_t bytes, std::uint64_t nanos) {
+  if (nanos == 0) return 0.0;
+  return (static_cast<double>(bytes) / static_cast<double>(kMB)) /
+         ToSeconds(nanos);
+}
+
+// Time to move `bytes` at `bytes_per_sec`, in nanoseconds (rounded up so a
+// nonzero transfer never takes zero simulated time).
+constexpr std::uint64_t TransferNanos(std::uint64_t bytes,
+                                      std::uint64_t bytes_per_sec) {
+  if (bytes == 0) return 0;
+  if (bytes_per_sec == 0) return ~0ull;
+  const long double secs =
+      static_cast<long double>(bytes) / static_cast<long double>(bytes_per_sec);
+  const long double nanos = secs * static_cast<long double>(kNanosPerSec);
+  auto out = static_cast<std::uint64_t>(nanos);
+  return out == 0 ? 1 : out;
+}
+
+}  // namespace memfs::units

@@ -1,0 +1,236 @@
+#include "hash/hash.h"
+
+#include <array>
+#include <cstring>
+
+namespace memfs::hash {
+
+std::string_view ToString(HashKind kind) {
+  switch (kind) {
+    case HashKind::kFnv1a64: return "fnv1a64";
+    case HashKind::kMurmur3_64: return "murmur3";
+    case HashKind::kJenkinsLookup3: return "jenkins";
+    case HashKind::kCrc32c: return "crc32c";
+  }
+  return "unknown";
+}
+
+std::uint64_t Fnv1a64(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+inline std::uint64_t Rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t Fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+inline std::uint64_t LoadLe64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian host assumed (x86-64 / aarch64 LE)
+}
+
+inline std::uint32_t LoadLe32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t Murmur3_64(std::string_view key, std::uint64_t seed) {
+  const auto* data = reinterpret_cast<const unsigned char*>(key.data());
+  const std::size_t len = key.size();
+  const std::size_t nblocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  constexpr std::uint64_t c1 = 0x87c37b91114253d5ull;
+  constexpr std::uint64_t c2 = 0x4cf5ad432745937full;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = LoadLe64(data + i * 16);
+    std::uint64_t k2 = LoadLe64(data + i * 16 + 8);
+    k1 *= c1; k1 = Rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+    h1 = Rotl64(h1, 27); h1 += h2; h1 = h1 * 5 + 0x52dce729;
+    k2 *= c2; k2 = Rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+    h2 = Rotl64(h2, 31); h2 += h1; h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail = data + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<std::uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<std::uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<std::uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<std::uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<std::uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<std::uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<std::uint64_t>(tail[8]);
+      k2 *= c2; k2 = Rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<std::uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint64_t>(tail[0]);
+      k1 *= c1; k1 = Rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+      break;
+    case 0: break;
+  }
+
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = Fmix64(h1);
+  h2 = Fmix64(h2);
+  h1 += h2;
+  return h1;
+}
+
+namespace {
+
+inline std::uint32_t Rotl32(std::uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+}  // namespace
+
+std::uint64_t JenkinsLookup3(std::string_view key, std::uint32_t seed) {
+  const auto* data = reinterpret_cast<const unsigned char*>(key.data());
+  std::size_t length = key.size();
+  std::uint32_t a = 0xdeadbeef + static_cast<std::uint32_t>(length) + seed;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+
+  while (length > 12) {
+    a += LoadLe32(data);
+    b += LoadLe32(data + 4);
+    c += LoadLe32(data + 8);
+    // lookup3 mix()
+    a -= c; a ^= Rotl32(c, 4);  c += b;
+    b -= a; b ^= Rotl32(a, 6);  a += c;
+    c -= b; c ^= Rotl32(b, 8);  b += a;
+    a -= c; a ^= Rotl32(c, 16); c += b;
+    b -= a; b ^= Rotl32(a, 19); a += c;
+    c -= b; c ^= Rotl32(b, 4);  b += a;
+    data += 12;
+    length -= 12;
+  }
+
+  switch (length) {
+    case 12: c += static_cast<std::uint32_t>(data[11]) << 24; [[fallthrough]];
+    case 11: c += static_cast<std::uint32_t>(data[10]) << 16; [[fallthrough]];
+    case 10: c += static_cast<std::uint32_t>(data[9]) << 8; [[fallthrough]];
+    case 9:  c += data[8]; [[fallthrough]];
+    case 8:  b += static_cast<std::uint32_t>(data[7]) << 24; [[fallthrough]];
+    case 7:  b += static_cast<std::uint32_t>(data[6]) << 16; [[fallthrough]];
+    case 6:  b += static_cast<std::uint32_t>(data[5]) << 8; [[fallthrough]];
+    case 5:  b += data[4]; [[fallthrough]];
+    case 4:  a += static_cast<std::uint32_t>(data[3]) << 24; [[fallthrough]];
+    case 3:  a += static_cast<std::uint32_t>(data[2]) << 16; [[fallthrough]];
+    case 2:  a += static_cast<std::uint32_t>(data[1]) << 8; [[fallthrough]];
+    case 1:
+      a += data[0];
+      break;
+    case 0:
+      return (static_cast<std::uint64_t>(c) << 32) | b;
+  }
+
+  // lookup3 final()
+  c ^= b; c -= Rotl32(b, 14);
+  a ^= c; a -= Rotl32(c, 11);
+  b ^= a; b -= Rotl32(a, 25);
+  c ^= b; c -= Rotl32(b, 16);
+  a ^= c; a -= Rotl32(c, 4);
+  b ^= a; b -= Rotl32(a, 14);
+  c ^= b; c -= Rotl32(b, 24);
+  return (static_cast<std::uint64_t>(c) << 32) | b;
+}
+
+namespace {
+
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> table;
+
+  Crc32cTables() {
+    constexpr std::uint32_t poly = 0x82f63b78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      table[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = table[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        crc = table[0][crc & 0xff] ^ (crc >> 8);
+        table[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view key) {
+  const auto& t = Tables().table;
+  const auto* data = reinterpret_cast<const unsigned char*>(key.data());
+  std::size_t length = key.size();
+  std::uint32_t crc = 0xffffffffu;
+
+  while (length >= 8) {
+    crc ^= LoadLe32(data);
+    const std::uint32_t high = LoadLe32(data + 4);
+    crc = t[7][crc & 0xff] ^ t[6][(crc >> 8) & 0xff] ^
+          t[5][(crc >> 16) & 0xff] ^ t[4][crc >> 24] ^
+          t[3][high & 0xff] ^ t[2][(high >> 8) & 0xff] ^
+          t[1][(high >> 16) & 0xff] ^ t[0][high >> 24];
+    data += 8;
+    length -= 8;
+  }
+  while (length-- > 0) {
+    crc = t[0][(crc ^ *data++) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint64_t HashKey(HashKind kind, std::string_view key) {
+  switch (kind) {
+    case HashKind::kFnv1a64: return Fnv1a64(key);
+    case HashKind::kMurmur3_64: return Murmur3_64(key);
+    case HashKind::kJenkinsLookup3: return JenkinsLookup3(key);
+    case HashKind::kCrc32c: return Crc32c(key);
+  }
+  return 0;
+}
+
+}  // namespace memfs::hash

@@ -1,0 +1,39 @@
+// Hash functions implemented from scratch for key-to-server distribution.
+//
+// The paper uses Libmemcached's hashing schemes to map `file#stripe` keys to
+// Memcached servers. We reproduce that layer with four classic functions —
+// FNV-1a (Libmemcached's default family), Murmur3, Jenkins lookup3 and CRC32C
+// — selectable at configuration time, plus the distribution strategies in
+// distributor.h. All are deterministic and platform-independent.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace memfs::hash {
+
+enum class HashKind : std::uint8_t {
+  kFnv1a64,
+  kMurmur3_64,
+  kJenkinsLookup3,
+  kCrc32c,
+};
+
+std::string_view ToString(HashKind kind);
+
+// 64-bit FNV-1a.
+std::uint64_t Fnv1a64(std::string_view key);
+
+// MurmurHash3 x64-128, truncated to the low 64 bits.
+std::uint64_t Murmur3_64(std::string_view key, std::uint64_t seed = 0);
+
+// Bob Jenkins' lookup3 (hashlittle), widened to 64 bits via (c << 32) | b.
+std::uint64_t JenkinsLookup3(std::string_view key, std::uint32_t seed = 0);
+
+// CRC32C (Castagnoli), software slice-by-8, zero-extended to 64 bits.
+std::uint32_t Crc32c(std::string_view key);
+
+// Dispatch on HashKind.
+std::uint64_t HashKey(HashKind kind, std::string_view key);
+
+}  // namespace memfs::hash

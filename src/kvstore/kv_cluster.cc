@@ -1,0 +1,208 @@
+#include "kvstore/kv_cluster.h"
+
+#include <functional>
+#include <utility>
+
+#include "sim/task.h"
+
+namespace memfs::kv {
+
+KvCluster::KvCluster(sim::Simulation& sim, net::Network& network,
+                     std::vector<net::NodeId> server_nodes,
+                     KvServerConfig server_config, KvOpCostModel cost_model,
+                     MetricsRegistry* metrics)
+    : sim_(sim), network_(network), cost_(cost_model),
+      server_config_(server_config), metrics_(metrics) {
+  for (net::NodeId node : server_nodes) {
+    (void)AddServer(node);
+  }
+}
+
+std::uint32_t KvCluster::AddServer(net::NodeId node) {
+  ServerSlot slot;
+  slot.node = node;
+  slot.state = std::make_unique<KvServer>(server_config_);
+  slot.workers = std::make_unique<sim::Semaphore>(sim_, cost_.workers);
+  servers_.push_back(std::move(slot));
+  return static_cast<std::uint32_t>(servers_.size() - 1);
+}
+
+namespace {
+
+// Awaits an operation's future and records the client-observed latency.
+template <typename T>
+sim::Task RecordKvLatency(sim::Future<T> future, sim::Simulation* sim,
+                          LatencyHistogram* histogram, sim::SimTime start) {
+  (void)co_await future;
+  histogram->Record(sim->now() - start);
+}
+
+// One mutation round trip: ship key+value to the server, process under a
+// worker slot, return a small acknowledgement.
+sim::Task RunMutation(sim::Simulation& sim, net::Network& network,
+                      KvCluster::ServerSlotAccess slot, net::NodeId client,
+                      std::uint64_t request_bytes, sim::SimTime service_time,
+                      std::function<Status()> apply,
+                      sim::Promise<Status> done,
+                      std::uint64_t ack_bytes, sim::SimTime failure_timeout) {
+  co_await network.Transfer(client, slot.node, request_bytes);
+  if (*slot.down) {
+    co_await sim.Delay(failure_timeout);
+    done.Set(status::Unavailable("server down"));
+    co_return;
+  }
+  co_await slot.workers->Acquire();
+  co_await sim.Delay(service_time);
+  Status status = apply();
+  slot.workers->Release();
+  co_await network.Transfer(slot.node, client, ack_bytes);
+  done.Set(std::move(status));
+}
+
+}  // namespace
+
+sim::Future<Status> KvCluster::Set(net::NodeId client, std::uint32_t server,
+                                   std::string key, Bytes value) {
+  auto& slot = servers_[server];
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  const std::uint64_t request =
+      cost_.header_bytes + key.size() + value.StoredSize();
+  const sim::SimTime service =
+      ServiceTime(cost_.set_base, cost_.set_ns_per_byte, value.StoredSize());
+  auto* state = slot.state.get();
+  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
+              service,
+              [state, key = std::move(key), value = std::move(value)]() mutable {
+                return state->Set(key, std::move(value));
+              },
+              std::move(done), cost_.header_bytes, cost_.failure_timeout);
+  if (metrics_ != nullptr) {
+    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.set"), sim_.now());
+  }
+  return future;
+}
+
+sim::Future<Status> KvCluster::Add(net::NodeId client, std::uint32_t server,
+                                   std::string key, Bytes value) {
+  auto& slot = servers_[server];
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  const std::uint64_t request =
+      cost_.header_bytes + key.size() + value.StoredSize();
+  const sim::SimTime service =
+      ServiceTime(cost_.set_base, cost_.set_ns_per_byte, value.StoredSize());
+  auto* state = slot.state.get();
+  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
+              service,
+              [state, key = std::move(key), value = std::move(value)]() mutable {
+                return state->Add(key, std::move(value));
+              },
+              std::move(done), cost_.header_bytes, cost_.failure_timeout);
+  if (metrics_ != nullptr) {
+    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.add"), sim_.now());
+  }
+  return future;
+}
+
+sim::Future<Status> KvCluster::Append(net::NodeId client, std::uint32_t server,
+                                      std::string key, Bytes suffix) {
+  auto& slot = servers_[server];
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  const std::uint64_t request =
+      cost_.header_bytes + key.size() + suffix.StoredSize();
+  const sim::SimTime service = ServiceTime(
+      cost_.append_base, cost_.append_ns_per_byte, suffix.StoredSize());
+  auto* state = slot.state.get();
+  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
+              service,
+              [state, key = std::move(key),
+               suffix = std::move(suffix)]() mutable {
+                return state->Append(key, suffix);
+              },
+              std::move(done), cost_.header_bytes, cost_.failure_timeout);
+  if (metrics_ != nullptr) {
+    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.append"),
+                    sim_.now());
+  }
+  return future;
+}
+
+sim::Future<Status> KvCluster::Delete(net::NodeId client, std::uint32_t server,
+                                      std::string key) {
+  auto& slot = servers_[server];
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  const std::uint64_t request = cost_.header_bytes + key.size();
+  auto* state = slot.state.get();
+  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
+              cost_.delete_base,
+              [state, key = std::move(key)] { return state->Delete(key); },
+              std::move(done), cost_.header_bytes, cost_.failure_timeout);
+  if (metrics_ != nullptr) {
+    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.delete"),
+                    sim_.now());
+  }
+  return future;
+}
+
+namespace {
+
+sim::Task RunGet(sim::Simulation& sim, net::Network& network,
+                 KvCluster::ServerSlotAccess slot, net::NodeId client,
+                 std::uint64_t request_bytes, const KvOpCostModel& cost,
+                 KvServer* state, std::string key,
+                 sim::Promise<Result<Bytes>> done, sim::SimTime timeout) {
+  co_await network.Transfer(client, slot.node, request_bytes);
+  if (*slot.down) {
+    co_await sim.Delay(timeout);
+    done.Set(Result<Bytes>(status::Unavailable("server down")));
+    co_return;
+  }
+  co_await slot.workers->Acquire();
+  Result<Bytes> result = state->Get(key);
+  const std::uint64_t value_bytes =
+      result.ok() ? result.value().StoredSize() : 0;
+  co_await sim.Delay(cost.get_base +
+                     static_cast<sim::SimTime>(
+                         cost.get_ns_per_byte *
+                         static_cast<double>(value_bytes)));
+  slot.workers->Release();
+  co_await network.Transfer(slot.node, client, cost.header_bytes + value_bytes);
+  done.Set(std::move(result));
+}
+
+}  // namespace
+
+sim::Future<Result<Bytes>> KvCluster::Get(net::NodeId client,
+                                          std::uint32_t server,
+                                          std::string key) {
+  auto& slot = servers_[server];
+  sim::Promise<Result<Bytes>> done(sim_);
+  auto future = done.GetFuture();
+  const std::uint64_t request = cost_.header_bytes + key.size();
+  RunGet(sim_, network_, {slot.node, slot.workers.get(), &slot.down},
+         client, request, cost_, slot.state.get(), std::move(key),
+         std::move(done), cost_.failure_timeout);
+  if (metrics_ != nullptr) {
+    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.get"), sim_.now());
+  }
+  return future;
+}
+
+void KvCluster::SetServerDown(std::uint32_t index, bool down) {
+  servers_[index].down = down;
+}
+
+bool KvCluster::IsServerDown(std::uint32_t index) const {
+  return servers_[index].down;
+}
+
+std::uint64_t KvCluster::total_memory_used() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : servers_) total += slot.state->memory_used();
+  return total;
+}
+
+}  // namespace memfs::kv

@@ -1,0 +1,127 @@
+// Simulated Memcached deployment: one KvServer per storage node, driven over
+// the fluid network with bounded per-server worker concurrency and a per-op
+// service-time model.
+//
+// The cost model encodes the behaviour the paper leans on (§4.1): GET is
+// cheaper than SET at the server, APPEND pays an extra synchronization cost,
+// and every operation moves `header_bytes` of framing in addition to key and
+// value bytes — which is why 1 KB-file workloads are latency-bound while
+// 128 MB-file workloads are bandwidth-bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "kvstore/kv_server.h"
+#include "net/network.h"
+#include "sim/future.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace memfs::kv {
+
+struct KvOpCostModel {
+  // Server-side service time = base + size * ns_per_byte.
+  sim::SimTime set_base = units::Micros(10);
+  double set_ns_per_byte = 0.15;
+  sim::SimTime get_base = units::Micros(5);
+  double get_ns_per_byte = 0.08;
+  sim::SimTime append_base = units::Micros(12);  // internal lock + sync
+  double append_ns_per_byte = 0.20;
+  sim::SimTime delete_base = units::Micros(5);
+  // Concurrent requests a server processes (Memcached worker threads).
+  std::uint32_t workers = 8;
+  // Protocol framing per message (command, key echo, flags, CRLF...).
+  std::uint64_t header_bytes = 48;
+  // Time for a client to give up on a server that is down (connection
+  // timeout); used by the fault-tolerance extension.
+  sim::SimTime failure_timeout = units::Millis(1);
+};
+
+class KvCluster {
+ public:
+  // Lightweight view handed to the protocol coroutines (the slot itself
+  // outlives every in-flight operation because the cluster owns it).
+  struct ServerSlotAccess {
+    net::NodeId node;
+    sim::Semaphore* workers;
+    const bool* down;
+  };
+
+  // `metrics` (optional, caller-owned) records kv.set/get/append/delete
+  // latency histograms as observed by clients.
+  KvCluster(sim::Simulation& sim, net::Network& network,
+            std::vector<net::NodeId> server_nodes,
+            KvServerConfig server_config = {}, KvOpCostModel cost_model = {},
+            MetricsRegistry* metrics = nullptr);
+
+  std::uint32_t server_count() const {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  KvServer& server(std::uint32_t index) { return *servers_[index].state; }
+  const KvServer& server(std::uint32_t index) const {
+    return *servers_[index].state;
+  }
+  net::NodeId node_of(std::uint32_t index) const {
+    return servers_[index].node;
+  }
+  const KvOpCostModel& cost_model() const { return cost_; }
+
+  // All operations are addressed by server index (the caller's Distributor
+  // picks the index) and carry the issuing client's node for the network leg.
+  sim::Future<Status> Set(net::NodeId client, std::uint32_t server,
+                          std::string key, Bytes value);
+  sim::Future<Status> Add(net::NodeId client, std::uint32_t server,
+                          std::string key, Bytes value);
+  sim::Future<Result<Bytes>> Get(net::NodeId client, std::uint32_t server,
+                                 std::string key);
+  sim::Future<Status> Append(net::NodeId client, std::uint32_t server,
+                             std::string key, Bytes suffix);
+  sim::Future<Status> Delete(net::NodeId client, std::uint32_t server,
+                             std::string key);
+
+  // Aggregate stored bytes across all servers (Fig. 9-style accounting).
+  std::uint64_t total_memory_used() const;
+
+  // Failure injection: a down server answers nothing; clients time out with
+  // UNAVAILABLE after `failure_timeout`. Stored data is retained (the
+  // process is gone but the experiment may bring it back).
+  void SetServerDown(std::uint32_t index, bool down);
+  bool IsServerDown(std::uint32_t index) const;
+
+  // Elastic scale-out (the paper's future work, §5): registers a new, empty
+  // server on `node` and returns its index. Existing slots stay valid.
+  std::uint32_t AddServer(net::NodeId node);
+
+ private:
+  struct ServerSlot {
+    net::NodeId node;
+    std::unique_ptr<KvServer> state;
+    std::unique_ptr<sim::Semaphore> workers;
+    bool down = false;
+  };
+
+  sim::SimTime ServiceTime(sim::SimTime base, double ns_per_byte,
+                           std::uint64_t bytes) const {
+    return base + static_cast<sim::SimTime>(ns_per_byte *
+                                            static_cast<double>(bytes));
+  }
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  KvOpCostModel cost_;
+  KvServerConfig server_config_;  // template for servers added later
+  MetricsRegistry* metrics_;
+  // deque: growing the cluster must not invalidate references held by
+  // in-flight operations.
+  std::deque<ServerSlot> servers_;
+};
+
+}  // namespace memfs::kv

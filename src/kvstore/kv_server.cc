@@ -1,0 +1,91 @@
+#include "kvstore/kv_server.h"
+
+#include <utility>
+
+namespace memfs::kv {
+
+KvServer::KvServer(KvServerConfig config) : config_(config) {}
+
+Status KvServer::CheckedInsert(std::string_view key, Bytes&& value,
+                               bool overwrite) {
+  if (value.StoredSize() > config_.max_object_size) {
+    return status::TooLarge("object exceeds per-item limit");
+  }
+  auto it = store_.find(key);
+  std::uint64_t replaced = 0;
+  if (it != store_.end()) {
+    if (!overwrite) return status::Exists();
+    replaced = it->second.StoredSize();
+  }
+  const std::uint64_t incoming = value.StoredSize();
+  if (memory_used_ - replaced + incoming > config_.memory_limit) {
+    return status::NoSpace("server memory exhausted");
+  }
+  memory_used_ = memory_used_ - replaced + incoming;
+  stats_.bytes_written += incoming;
+  if (it != store_.end()) {
+    it->second = std::move(value);
+  } else {
+    store_.emplace(std::string(key), std::move(value));
+  }
+  return Status::Ok();
+}
+
+Status KvServer::Set(std::string_view key, Bytes value) {
+  ++stats_.sets;
+  return CheckedInsert(key, std::move(value), /*overwrite=*/true);
+}
+
+Status KvServer::Add(std::string_view key, Bytes value) {
+  ++stats_.adds;
+  return CheckedInsert(key, std::move(value), /*overwrite=*/false);
+}
+
+Result<Bytes> KvServer::Get(std::string_view key) {
+  ++stats_.gets;
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    ++stats_.misses;
+    return status::NotFound();
+  }
+  ++stats_.hits;
+  stats_.bytes_read += it->second.StoredSize();
+  return it->second;
+}
+
+Status KvServer::Append(std::string_view key, const Bytes& suffix) {
+  ++stats_.appends;
+  auto it = store_.find(key);
+  if (it == store_.end()) return status::NotFound();
+  const std::uint64_t grown = suffix.StoredSize();
+  if (it->second.StoredSize() + grown > config_.max_object_size) {
+    return status::TooLarge();
+  }
+  if (memory_used_ + grown > config_.memory_limit) {
+    return status::NoSpace();
+  }
+  it->second.Append(suffix);
+  memory_used_ += grown;
+  stats_.bytes_written += grown;
+  return Status::Ok();
+}
+
+Status KvServer::Delete(std::string_view key) {
+  ++stats_.deletes;
+  auto it = store_.find(key);
+  if (it == store_.end()) return status::NotFound();
+  memory_used_ -= it->second.StoredSize();
+  store_.erase(it);
+  return Status::Ok();
+}
+
+bool KvServer::Exists(std::string_view key) const {
+  return store_.contains(key);
+}
+
+void KvServer::Clear() {
+  store_.clear();
+  memory_used_ = 0;
+}
+
+}  // namespace memfs::kv

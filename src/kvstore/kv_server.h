@@ -1,0 +1,95 @@
+// In-memory key-value server: the Memcached stand-in (§3.1.1).
+//
+// KvServer is a pure state machine — no clock, no network — so unit tests
+// and CPU microbenches drive it directly. The simulated cluster binding
+// (request/response transfers, bounded worker concurrency, per-op service
+// times) lives in kv_cluster.h. Matching Memcached semantics:
+//
+//  * SET overwrites, ADD fails on an existing key, APPEND is atomic and
+//    fails on a missing key, DELETE removes.
+//  * Objects are rejected above a per-object size limit (Memcached's item
+//    limit; 128 MB in the deployment the paper describes).
+//  * Servers do not talk to each other; data distribution and balancing are
+//    entirely the client's job, which is exactly the property MemFS builds
+//    on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace memfs::kv {
+
+struct KvServerConfig {
+  // Storage budget. The paper reserves all node memory minus 4 GB for the
+  // runtime file system; benches set this per experiment.
+  std::uint64_t memory_limit = units::GiB(20);
+  // Per-object ceiling (Memcached item size limit).
+  std::uint64_t max_object_size = units::MiB(128);
+};
+
+struct KvServerStats {
+  std::uint64_t sets = 0;
+  std::uint64_t adds = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class KvServer {
+ public:
+  explicit KvServer(KvServerConfig config = {});
+
+  // Unconditional store (overwrite allowed).
+  Status Set(std::string_view key, Bytes value);
+
+  // Store only if absent (Memcached ADD) — the primitive behind MemFS's
+  // create-exclusive metadata keys.
+  Status Add(std::string_view key, Bytes value);
+
+  Result<Bytes> Get(std::string_view key);
+
+  // Atomic append to an existing value (Memcached APPEND). Used by the
+  // directory metadata protocol; fails with NotFound on a missing key.
+  Status Append(std::string_view key, const Bytes& suffix);
+
+  Status Delete(std::string_view key);
+
+  bool Exists(std::string_view key) const;
+
+  std::uint64_t memory_used() const { return memory_used_; }
+  std::uint64_t memory_limit() const { return config_.memory_limit; }
+  std::size_t object_count() const { return store_.size(); }
+  const KvServerStats& stats() const { return stats_; }
+  const KvServerConfig& config() const { return config_; }
+
+  // Drops all objects (end-of-application teardown of the runtime FS).
+  void Clear();
+
+ private:
+  // Transparent hashing so lookups by string_view do not allocate.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  Status CheckedInsert(std::string_view key, Bytes&& value, bool overwrite);
+
+  KvServerConfig config_;
+  std::unordered_map<std::string, Bytes, StringHash, std::equal_to<>> store_;
+  std::uint64_t memory_used_ = 0;
+  KvServerStats stats_;
+};
+
+}  // namespace memfs::kv

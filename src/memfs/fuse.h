@@ -1,0 +1,57 @@
+// FUSE mountpoint model.
+//
+// Every VFS request in the real system crosses the FUSE kernel boundary,
+// which serializes briefly on a per-mountpoint spinlock. On "fat" NUMA nodes
+// this lock stops scaling: the paper found Montage unable to scale past 8
+// cores per node with a single mount (Fig. 10a) and fixed it by giving each
+// application process its own mountpoint (Fig. 10b).
+//
+// The model: each mount is a one-at-a-time resource; a request holds it for
+// `op_cost` plus a penalty that grows with the number of requests already
+// spinning on the lock (cache-line bouncing across NUMA domains). Processes
+// map onto mounts round-robin, so mounts_per_node=1 reproduces the paper's
+// default deployment and mounts_per_node>=processes the fixed one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/network.h"
+#include "sim/future.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace memfs::fs {
+
+struct FuseConfig {
+  bool enabled = true;
+  std::uint32_t mounts_per_node = 1;
+  // Uncontended kernel-crossing cost per VFS request.
+  sim::SimTime op_cost = units::Micros(3);
+  // Extra cost fraction per request already waiting on the same mount's
+  // lock (NUMA spinlock degradation).
+  double contention_factor = 0.15;
+};
+
+class FuseLayer {
+ public:
+  FuseLayer(sim::Simulation& sim, std::uint32_t nodes, FuseConfig config);
+
+  // Pays the kernel-crossing cost for one request issued by `process` on
+  // `node`. Await before performing the actual file-system work.
+  sim::VoidFuture Enter(net::NodeId node, std::uint32_t process);
+
+  const FuseConfig& config() const { return config_; }
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  sim::Simulation& sim_;
+  FuseConfig config_;
+  // mounts_[node * mounts_per_node + mount]
+  std::vector<std::unique_ptr<sim::Semaphore>> mounts_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace memfs::fs

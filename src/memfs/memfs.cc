@@ -1,0 +1,779 @@
+#include "memfs/memfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/task.h"
+
+namespace memfs::fs {
+
+MemFs::MemFs(sim::Simulation& sim, net::Network& network,
+             kv::KvCluster& storage, MemFsConfig config)
+    : sim_(sim),
+      storage_(storage),
+      config_(config),
+      striper_(config.stripe_size),
+      fuse_(sim, network.config().nodes, config.fuse) {
+  epochs_.push_back(MakeDistributor(storage_.server_count()));
+  const std::uint32_t nodes = network.config().nodes;
+  const std::uint32_t write_width =
+      std::max<std::uint32_t>(config_.io_threads, 1);
+  const std::uint32_t read_width =
+      std::max<std::uint32_t>(config_.read_threads, 1);
+  write_pool_.reserve(nodes);
+  read_pool_.reserve(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    write_pool_.push_back(std::make_unique<sim::Semaphore>(sim_, write_width));
+    read_pool_.push_back(std::make_unique<sim::Semaphore>(sim_, read_width));
+  }
+  // Bootstrap the root directory record directly into its home server (and
+  // every replica); this happens at deployment time, before any simulated
+  // traffic.
+  for (std::uint32_t r = 0; r < ReplicaCount(0); ++r) {
+    const Status status =
+        storage_.server(ReplicaServer(0, "/", r)).Set("/", meta::DirHeader());
+    assert(status.ok());
+    (void)status;
+  }
+}
+
+std::unique_ptr<hash::Distributor> MemFs::MakeDistributor(
+    std::uint32_t servers) const {
+  if (config_.use_ketama) {
+    return hash::MakeKetama(servers, 160, config_.hash_kind);
+  }
+  return hash::MakeModulo(servers, config_.hash_kind);
+}
+
+std::uint32_t MemFs::AddStorageServer(net::NodeId kv_node) {
+  (void)storage_.AddServer(kv_node);
+  epochs_.push_back(MakeDistributor(storage_.server_count()));
+  return current_epoch();
+}
+
+// ---------------------------------------------------------------------------
+// Replication-aware storage primitives (§3.2.5 extension)
+
+std::uint32_t MemFs::ReplicaCount(std::uint32_t epoch) const {
+  return std::min<std::uint32_t>(
+      std::max<std::uint32_t>(config_.replication, 1),
+      epochs_[epoch]->server_count());
+}
+
+std::uint32_t MemFs::ReplicaServer(std::uint32_t epoch, std::string_view key,
+                                   std::uint32_t replica) const {
+  const auto& ring = *epochs_[epoch];
+  return (ring.ServerFor(key) + replica) % ring.server_count();
+}
+
+sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
+                                       std::string key, Bytes value,
+                                       bool append,
+                                       sim::Promise<Status> done) {
+  const std::uint32_t replicas = ReplicaCount(epoch);
+  if (replicas == 1) {
+    const std::uint32_t server = ReplicaServer(epoch, key, 0);
+    Status status;
+    if (append) {
+      status = co_await storage_.Append(node, server, std::move(key),
+                                        std::move(value));
+    } else {
+      status =
+          co_await storage_.Set(node, server, std::move(key), std::move(value));
+    }
+    done.Set(std::move(status));
+    co_return;
+  }
+  // All replicas written in parallel; the write succeeds only if every
+  // replica acknowledges (a down replica fails the write — the paper's
+  // stated cost of replication, which is why it defaults off).
+  std::vector<sim::Future<Status>> futures;
+  futures.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    const std::uint32_t server = ReplicaServer(epoch, key, r);
+    futures.push_back(append ? storage_.Append(node, server, key, value)
+                             : storage_.Set(node, server, key, value));
+  }
+  Status first_error;
+  for (auto& future : futures) {
+    Status status = co_await future;
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  done.Set(std::move(first_error));
+}
+
+sim::Future<Status> MemFs::ReplicatedSet(std::uint32_t epoch,
+                                         net::NodeId node, std::string key,
+                                         Bytes value) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  RunReplicatedMutation(epoch, node, std::move(key), std::move(value),
+                        /*append=*/false, std::move(done));
+  return future;
+}
+
+sim::Future<Status> MemFs::ReplicatedAppend(std::uint32_t epoch,
+                                            net::NodeId node, std::string key,
+                                            Bytes suffix) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  RunReplicatedMutation(epoch, node, std::move(key), std::move(suffix),
+                        /*append=*/true, std::move(done));
+  return future;
+}
+
+sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
+                                     std::string key,
+                                     sim::Promise<Status> done) {
+  const std::uint32_t replicas = ReplicaCount(epoch);
+  std::vector<sim::Future<Status>> futures;
+  futures.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    futures.push_back(
+        storage_.Delete(node, ReplicaServer(epoch, key, r), key));
+  }
+  Status result;
+  for (auto& future : futures) {
+    Status status = co_await future;
+    // A replica that never held the key (or is down) does not fail the
+    // delete; the primary's answer decides.
+    if (&future == &futures.front()) result = std::move(status);
+  }
+  done.Set(std::move(result));
+}
+
+sim::Future<Status> MemFs::ReplicatedDelete(std::uint32_t epoch,
+                                            net::NodeId node,
+                                            std::string key) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  RunReplicatedDelete(epoch, node, std::move(key), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
+                                std::string key,
+                                sim::Promise<Result<Bytes>> done) {
+  const std::uint32_t replicas = ReplicaCount(epoch);
+  Result<Bytes> last = status::Unavailable("no replicas");
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    last = co_await storage_.Get(node, ReplicaServer(epoch, key, r), key);
+    if (last.ok()) {
+      if (r > 0) ++stats_.replica_failovers;
+      break;
+    }
+    if (last.status().code() == ErrorCode::kNotFound) break;
+  }
+  done.Set(std::move(last));
+}
+
+sim::Future<Result<Bytes>> MemFs::FailoverGet(std::uint32_t epoch,
+                                              net::NodeId node,
+                                              std::string key) {
+  sim::Promise<Result<Bytes>> done(sim_);
+  auto future = done.GetFuture();
+  RunFailoverGet(epoch, node, std::move(key), std::move(done));
+  return future;
+}
+
+namespace {
+
+// Awaits the operation's future and records its latency; spawned only when a
+// registry is configured, so the uninstrumented path stays allocation-free.
+template <typename T>
+sim::Task RecordLatency(sim::Future<T> future, sim::Simulation* sim,
+                        LatencyHistogram* histogram, sim::SimTime start) {
+  (void)co_await future;
+  histogram->Record(sim->now() - start);
+}
+
+}  // namespace
+
+Result<MemFs::OpenFile*> MemFs::FindHandle(FileHandle handle, bool writing) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return status::BadHandle();
+  OpenFile* file = it->second.get();
+  if (file->writing != writing) {
+    return status::Permission(writing ? "handle is read-only"
+                                      : "handle is write-only");
+  }
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// Create / write path
+
+sim::Future<Result<FileHandle>> MemFs::Create(VfsContext ctx,
+                                              std::string path) {
+  sim::Promise<Result<FileHandle>> done(sim_);
+  auto future = done.GetFuture();
+  DoCreate(ctx, std::move(path), std::move(done));
+  if (config_.metrics != nullptr) {
+    RecordLatency(future, &sim_,
+                  &config_.metrics->Histogram("vfs.create"), sim_.now());
+  }
+  return future;
+}
+
+sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
+                          sim::Promise<Result<FileHandle>> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  if (!path::IsNormalized(path) || path == "/") {
+    done.Set(status::InvalidArgument("bad path"));
+    co_return;
+  }
+  // Register an unsealed file record; ADD makes concurrent double-create
+  // lose deterministically (write-once implies a single writer).
+  Status added = co_await storage_.Add(
+      ctx.node, ServerFor(path), path,
+      meta::EncodeFile({0, false, current_epoch()}));
+  if (!added.ok()) {
+    done.Set(added.code() == ErrorCode::kExists
+                 ? status::Exists(path)
+                 : added);
+    co_return;
+  }
+  // Link into the parent's directory event log (atomic APPEND, all
+  // replicas).
+  const std::string parent = path::Parent(path);
+  Status linked = co_await ReplicatedAppend(
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), false));
+  if (!linked.ok()) {
+    // Parent does not exist: roll the file record back.
+    co_await ReplicatedDelete(0, ctx.node, path);
+    done.Set(status::NotFound("parent directory: " + parent));
+    co_return;
+  }
+
+  auto file = std::make_unique<OpenFile>();
+  file->path = std::move(path);
+  file->node = ctx.node;
+  file->writing = true;
+  file->epoch = current_epoch();
+  const auto capacity_stripes = std::max<std::uint64_t>(
+      config_.write_buffer_bytes / config_.stripe_size, 1);
+  file->tokens = std::make_unique<sim::Semaphore>(sim_, capacity_stripes);
+  file->inflight = std::make_unique<sim::WaitGroup>(sim_);
+
+  const FileHandle handle = next_handle_++;
+  handles_.emplace(handle, std::move(file));
+  ++stats_.files_created;
+  done.Set(handle);
+}
+
+sim::Future<Status> MemFs::Write(VfsContext ctx, FileHandle handle,
+                                 Bytes data) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoWrite(ctx, handle, std::move(data), std::move(done));
+  if (config_.metrics != nullptr) {
+    RecordLatency(future, &sim_,
+                  &config_.metrics->Histogram("vfs.write"), sim_.now());
+  }
+  return future;
+}
+
+sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
+                         sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  auto found = FindHandle(handle, /*writing=*/true);
+  if (!found.ok()) {
+    done.Set(found.status());
+    co_return;
+  }
+  OpenFile* file = *found;
+  stats_.bytes_written += data.size();
+  file->written += data.size();
+  file->pending.Append(data);
+
+  // Carve and ship every full stripe. SubmitStripe blocks on buffer
+  // capacity, so a writer outrunning the network parks here — that is the
+  // paper's "buffering saturates write bandwidth" behaviour with bounded
+  // memory.
+  while (file->pending.size() >= config_.stripe_size) {
+    Bytes stripe = file->pending.Slice(0, config_.stripe_size);
+    file->pending = file->pending.Slice(
+        config_.stripe_size, file->pending.size() - config_.stripe_size);
+    sim::VoidPromise accepted(sim_);
+    auto accepted_future = accepted.GetFuture();
+    SubmitStripe(file, file->next_stripe++, std::move(stripe),
+                 std::move(accepted));
+    co_await accepted_future;
+  }
+  done.Set(file->first_error);
+}
+
+sim::Task MemFs::SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
+                              sim::VoidPromise accepted) {
+  const std::string key = Striper::StripeKey(file->path, index);
+  if (config_.io_threads == 0) {
+    // No buffering (Fig. 3b baseline): the write call itself carries the
+    // transfer.
+    ++stats_.stripe_sets;
+    Status status =
+        co_await ReplicatedSet(file->epoch, file->node, key, std::move(data));
+    if (!status.ok() && file->first_error.ok()) file->first_error = status;
+    accepted.Set(sim::Done{});
+    co_return;
+  }
+  co_await file->tokens->Acquire();  // buffer-capacity backpressure
+  file->inflight->Add();
+  FlushStripe(file, key, std::move(data));
+  accepted.Set(sim::Done{});
+}
+
+sim::Task MemFs::FlushStripe(OpenFile* file, std::string key, Bytes data) {
+  auto& pool = *write_pool_[file->node];
+  co_await pool.Acquire();
+  ++stats_.stripe_sets;
+  Status status = co_await ReplicatedSet(file->epoch, file->node,
+                                         std::move(key), std::move(data));
+  pool.Release();
+  if (!status.ok() && file->first_error.ok()) file->first_error = status;
+  file->tokens->Release();
+  file->inflight->Done();
+}
+
+sim::Future<Status> MemFs::Flush(VfsContext ctx, FileHandle handle) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoFlush(ctx, handle, std::move(done));
+  if (config_.metrics != nullptr) {
+    RecordLatency(future, &sim_,
+                  &config_.metrics->Histogram("vfs.flush"), sim_.now());
+  }
+  return future;
+}
+
+sim::Task MemFs::DoFlush(VfsContext ctx, FileHandle handle,
+                         sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    done.Set(status::BadHandle());
+    co_return;
+  }
+  OpenFile* file = it->second.get();
+  if (!file->writing) {
+    done.Set(Status::Ok());  // POSIX: fsync on a read fd is a no-op here
+    co_return;
+  }
+  // Wait until the write buffer has been emptied (§3.2.2). The partial tail
+  // stays buffered: it is not a whole stripe yet, and shipping it early
+  // would break the fixed-stripe arithmetic readers rely on; only close()
+  // may emit the short final stripe.
+  co_await file->inflight->Wait();
+  done.Set(file->first_error);
+}
+
+sim::Future<Status> MemFs::Close(VfsContext ctx, FileHandle handle) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoClose(ctx, handle, std::move(done));
+  if (config_.metrics != nullptr) {
+    RecordLatency(future, &sim_,
+                  &config_.metrics->Histogram("vfs.close"), sim_.now());
+  }
+  return future;
+}
+
+sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
+                         sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    done.Set(status::BadHandle());
+    co_return;
+  }
+  OpenFile* file = it->second.get();
+  Status result;
+  if (file->writing) {
+    if (!file->pending.empty()) {
+      Bytes tail = std::move(file->pending);
+      file->pending = Bytes();
+      sim::VoidPromise accepted(sim_);
+      auto accepted_future = accepted.GetFuture();
+      SubmitStripe(file, file->next_stripe++, std::move(tail),
+                   std::move(accepted));
+      co_await accepted_future;
+    }
+    // close() returns only after the write buffer has drained (§3.2.2).
+    co_await file->inflight->Wait();
+    result = file->first_error;
+    if (result.ok()) {
+      // Seal: replace the unsealed record with the final size (§3.2.4),
+      // on every replica.
+      result = co_await ReplicatedSet(
+          0, ctx.node, file->path,
+          meta::EncodeFile({file->written, true, file->epoch}));
+    }
+  }
+  handles_.erase(handle);
+  done.Set(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Open / read path
+
+sim::Future<Result<FileHandle>> MemFs::Open(VfsContext ctx, std::string path) {
+  sim::Promise<Result<FileHandle>> done(sim_);
+  auto future = done.GetFuture();
+  DoOpen(ctx, std::move(path), std::move(done));
+  if (config_.metrics != nullptr) {
+    RecordLatency(future, &sim_, &config_.metrics->Histogram("vfs.open"),
+                  sim_.now());
+  }
+  return future;
+}
+
+sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
+                        sim::Promise<Result<FileHandle>> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  if (!record.ok()) {
+    done.Set(status::NotFound(path));
+    co_return;
+  }
+  auto decoded = meta::Decode(record.value());
+  if (!decoded.ok()) {
+    done.Set(decoded.status());
+    co_return;
+  }
+  if (decoded->kind == meta::Kind::kDirectory) {
+    done.Set(status::IsDirectory(path));
+    co_return;
+  }
+  if (decoded->file.epoch >= epochs_.size()) {
+    done.Set(status::Internal("file from unknown ring epoch: " + path));
+    co_return;
+  }
+  if (!decoded->file.sealed) {
+    done.Set(status::Permission("file still open for writing: " + path));
+    co_return;
+  }
+
+  auto file = std::make_unique<OpenFile>();
+  file->path = std::move(path);
+  file->node = ctx.node;
+  file->writing = false;
+  file->epoch = decoded->file.epoch;
+  file->size = decoded->file.size;
+
+  const FileHandle handle = next_handle_++;
+  handles_.emplace(handle, std::move(file));
+  ++stats_.files_opened;
+  done.Set(handle);
+}
+
+sim::Future<Result<Bytes>> MemFs::Read(VfsContext ctx, FileHandle handle,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  sim::Promise<Result<Bytes>> done(sim_);
+  auto future = done.GetFuture();
+  DoRead(ctx, handle, offset, length, std::move(done));
+  if (config_.metrics != nullptr) {
+    RecordLatency(future, &sim_,
+                  &config_.metrics->Histogram("vfs.read"), sim_.now());
+  }
+  return future;
+}
+
+sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
+                        std::uint64_t offset, std::uint64_t length,
+                        sim::Promise<Result<Bytes>> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  auto found = FindHandle(handle, /*writing=*/false);
+  if (!found.ok()) {
+    done.Set(found.status());
+    co_return;
+  }
+  OpenFile* file = *found;
+  const auto spans = striper_.Spans(offset, length, file->size);
+
+  // Start every needed stripe fetch first (parallel streams from multiple
+  // servers — the striping bandwidth win), then trigger the sequential
+  // prefetcher, then assemble.
+  std::vector<sim::Future<Result<Bytes>>> futures;
+  futures.reserve(spans.size());
+  for (const auto& span : spans) {
+    futures.push_back(EnsureStripe(file, span.stripe, /*prefetch=*/false));
+  }
+
+  if (config_.prefetch_depth > 0 && !spans.empty() &&
+      offset == file->sequential_end) {
+    const std::uint32_t stripe_count = striper_.StripeCount(file->size);
+    const std::uint32_t last = spans.back().stripe;
+    // Never prefetch beyond what the cache can hold alongside the stripe
+    // being read — a lookahead window wider than the cache evicts its own
+    // entries (and the one in use) before they are consumed.
+    const auto cache_stripes = std::max<std::uint64_t>(
+        config_.read_cache_bytes / config_.stripe_size, 1);
+    const auto depth = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        config_.prefetch_depth, cache_stripes > 1 ? cache_stripes - 1 : 0));
+    for (std::uint32_t ahead = 1; ahead <= depth; ++ahead) {
+      const std::uint32_t idx = last + ahead;
+      if (idx >= stripe_count) break;
+      // Prefetched stripes park in the cache; nobody awaits them here.
+      (void)EnsureStripe(file, idx, /*prefetch=*/true);
+    }
+  }
+
+  Bytes out;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    Result<Bytes> stripe = co_await futures[i];
+    if (!stripe.ok()) {
+      done.Set(status::Internal("missing stripe " +
+                                std::to_string(spans[i].stripe) + " of " +
+                                file->path));
+      co_return;
+    }
+    out.Append(
+        stripe.value().Slice(spans[i].offset_in_stripe, spans[i].length));
+  }
+  file->sequential_end = offset + out.size();
+  stats_.bytes_read += out.size();
+  done.Set(std::move(out));
+}
+
+sim::Future<Result<Bytes>> MemFs::EnsureStripe(OpenFile* file,
+                                               std::uint32_t index,
+                                               bool prefetch) {
+  auto it = file->cache.find(index);
+  if (it != file->cache.end()) {
+    if (!prefetch) ++stats_.cache_hits;
+    return it->second;
+  }
+  if (!prefetch) {
+    ++stats_.cache_misses;
+  } else {
+    ++stats_.prefetch_issued;
+  }
+
+  sim::Promise<Result<Bytes>> promise(sim_);
+  auto future = promise.GetFuture();
+  file->cache.emplace(index, future);
+  file->cache_order.push_back(index);
+
+  // FIFO eviction once the 8 MB per-file cache is full. Readers that already
+  // hold the future keep the shared state alive; eviction only forgets the
+  // cache entry.
+  const auto capacity = std::max<std::uint64_t>(
+      config_.read_cache_bytes / config_.stripe_size, 1);
+  while (file->cache_order.size() > capacity) {
+    file->cache.erase(file->cache_order.front());
+    file->cache_order.pop_front();
+  }
+
+  FetchStripe(file->node, file->epoch,
+              Striper::StripeKey(file->path, index), std::move(promise));
+  return future;
+}
+
+sim::Task MemFs::FetchStripe(net::NodeId node, std::uint32_t epoch,
+                             std::string key,
+                             sim::Promise<Result<Bytes>> promise) {
+  auto& pool = *read_pool_[node];
+  co_await pool.Acquire();
+  ++stats_.stripe_gets;
+  Result<Bytes> result = co_await FailoverGet(epoch, node, std::move(key));
+  pool.Release();
+  promise.Set(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+sim::Future<Status> MemFs::Mkdir(VfsContext ctx, std::string path) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoMkdir(ctx, std::move(path), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
+                         sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  if (!path::IsNormalized(path) || path == "/") {
+    done.Set(status::InvalidArgument("bad path"));
+    co_return;
+  }
+  Status added =
+      co_await storage_.Add(ctx.node, ServerFor(path), path, meta::DirHeader());
+  if (!added.ok()) {
+    done.Set(added);
+    co_return;
+  }
+  // Secondary replicas of the directory record (appends go to all).
+  for (std::uint32_t r = 1; r < ReplicaCount(0); ++r) {
+    co_await storage_.Set(ctx.node, ReplicaServer(0, path, r), path,
+                          meta::DirHeader());
+  }
+  const std::string parent = path::Parent(path);
+  Status linked = co_await ReplicatedAppend(
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), false));
+  if (!linked.ok()) {
+    co_await ReplicatedDelete(0, ctx.node, path);
+    done.Set(status::NotFound("parent directory: " + parent));
+    co_return;
+  }
+  done.Set(Status::Ok());
+}
+
+sim::Future<Result<std::vector<FileInfo>>> MemFs::ReadDir(VfsContext ctx,
+                                                          std::string path) {
+  sim::Promise<Result<std::vector<FileInfo>>> done(sim_);
+  auto future = done.GetFuture();
+  DoReadDir(ctx, std::move(path), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoReadDir(VfsContext ctx, std::string path,
+                           sim::Promise<Result<std::vector<FileInfo>>> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  if (!record.ok()) {
+    done.Set(status::NotFound(path));
+    co_return;
+  }
+  auto decoded = meta::Decode(record.value());
+  if (!decoded.ok()) {
+    done.Set(decoded.status());
+    co_return;
+  }
+  if (decoded->kind != meta::Kind::kDirectory) {
+    done.Set(status::NotDirectory(path));
+    co_return;
+  }
+  std::vector<FileInfo> infos;
+  infos.reserve(decoded->entries.size());
+  for (auto& name : decoded->entries) {
+    FileInfo info;
+    info.name = std::move(name);
+    infos.push_back(std::move(info));
+  }
+  done.Set(std::move(infos));
+}
+
+sim::Future<Result<FileInfo>> MemFs::Stat(VfsContext ctx, std::string path) {
+  sim::Promise<Result<FileInfo>> done(sim_);
+  auto future = done.GetFuture();
+  DoStat(ctx, std::move(path), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoStat(VfsContext ctx, std::string path,
+                        sim::Promise<Result<FileInfo>> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  if (!record.ok()) {
+    done.Set(status::NotFound(path));
+    co_return;
+  }
+  auto decoded = meta::Decode(record.value());
+  if (!decoded.ok()) {
+    done.Set(decoded.status());
+    co_return;
+  }
+  FileInfo info;
+  info.name = path::Basename(path);
+  if (decoded->kind == meta::Kind::kDirectory) {
+    info.is_directory = true;
+  } else {
+    info.size = decoded->file.size;
+    info.sealed = decoded->file.sealed;
+  }
+  done.Set(std::move(info));
+}
+
+sim::Future<Status> MemFs::Rmdir(VfsContext ctx, std::string path) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoRmdir(ctx, std::move(path), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoRmdir(VfsContext ctx, std::string path,
+                         sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  if (!path::IsNormalized(path) || path == "/") {
+    done.Set(status::InvalidArgument("bad path"));
+    co_return;
+  }
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  if (!record.ok()) {
+    done.Set(status::NotFound(path));
+    co_return;
+  }
+  auto decoded = meta::Decode(record.value());
+  if (!decoded.ok()) {
+    done.Set(decoded.status());
+    co_return;
+  }
+  if (decoded->kind != meta::Kind::kDirectory) {
+    done.Set(status::NotDirectory(path));
+    co_return;
+  }
+  if (!decoded->entries.empty()) {
+    done.Set(status::NotEmpty(path));
+    co_return;
+  }
+  // Tombstone in the parent, then drop the directory record.
+  const std::string parent = path::Parent(path);
+  co_await ReplicatedAppend(0, ctx.node, parent,
+                            meta::DirEvent(path::Basename(path), true));
+  Status dropped = co_await ReplicatedDelete(0, ctx.node, path);
+  done.Set(std::move(dropped));
+}
+
+sim::Future<Status> MemFs::Unlink(VfsContext ctx, std::string path) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoUnlink(ctx, std::move(path), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
+                          sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  if (!record.ok()) {
+    done.Set(status::NotFound(path));
+    co_return;
+  }
+  auto decoded = meta::Decode(record.value());
+  if (!decoded.ok()) {
+    done.Set(decoded.status());
+    co_return;
+  }
+  if (decoded->kind == meta::Kind::kDirectory) {
+    done.Set(status::IsDirectory(path));
+    co_return;
+  }
+
+  // Tombstone in the parent log (the paper's protocol), then reclaim the
+  // record and the stripes (every replica of each, under the file's ring
+  // epoch).
+  const std::string parent = path::Parent(path);
+  co_await ReplicatedAppend(0, ctx.node, parent,
+                            meta::DirEvent(path::Basename(path), true));
+  co_await ReplicatedDelete(0, ctx.node, path);
+
+  const std::uint32_t stripe_epoch =
+      decoded->file.epoch < epochs_.size() ? decoded->file.epoch : 0;
+  const std::uint32_t stripes = striper_.StripeCount(decoded->file.size);
+  sim::WaitGroup wg(sim_);
+  for (std::uint32_t i = 0; i < stripes; ++i) {
+    wg.Add();
+    auto deletion =
+        ReplicatedDelete(stripe_epoch, ctx.node, Striper::StripeKey(path, i));
+    [](sim::Future<Status> f, sim::WaitGroup& group) -> sim::Task {
+      co_await f;
+      group.Done();
+    }(std::move(deletion), wg);
+  }
+  co_await wg.Wait();
+  done.Set(Status::Ok());
+}
+
+}  // namespace memfs::fs

@@ -1,0 +1,254 @@
+// MemFS: the paper's primary contribution (§3).
+//
+// A fully symmetrical, in-memory runtime file system. Files are cut into
+// fixed-size stripes; each stripe is a key-value object whose storage server
+// is chosen by a distributed hash function over "<path>#<stripe>". No server
+// is special, no data is placed for locality: every node reads and writes
+// against all servers at once, turning the full bisection bandwidth of the
+// fabric into file-system bandwidth and keeping per-server memory balanced.
+//
+// The client implements the paper's optimizations:
+//  * write buffering — appends accumulate in a per-file buffer; full stripes
+//    are shipped asynchronously by a bounded "thread pool" of flushers;
+//    close()/flush() drains the buffer before returning (§3.2.2);
+//  * sequential prefetching — on a sequential read pattern the next stripes
+//    are fetched ahead into a per-file cache (§3.2.2);
+//  * write-once semantics — files are written sequentially, once, then
+//    sealed; reads are POSIX-style at any offset (§3.2.3);
+//  * key-value metadata — file records and directory event logs with atomic
+//    append (§3.2.4), giving O(1) lookups distributed over all servers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "hash/distributor.h"
+#include "kvstore/kv_cluster.h"
+#include "memfs/fuse.h"
+#include "memfs/metadata.h"
+#include "memfs/striper.h"
+#include "memfs/vfs.h"
+#include "sim/future.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace memfs::fs {
+
+struct MemFsConfig {
+  // 512 KB stripes achieve the best write bandwidth (Fig. 3a).
+  std::uint64_t stripe_size = units::KiB(512);
+  // Per-open-file caches of 8 MB for buffering and prefetching (§3.2.2).
+  std::uint64_t write_buffer_bytes = units::MiB(8);
+  std::uint64_t read_cache_bytes = units::MiB(8);
+  // Width of the per-node buffering (write) pool (Fig. 3b).
+  // io_threads == 0 disables asynchronous flushing (writes ship inline).
+  std::uint32_t io_threads = 8;
+  // Width of the per-node prefetching (read) pool.
+  std::uint32_t read_threads = 8;
+  // Stripes fetched ahead on a sequential pattern; 0 disables prefetching.
+  std::uint32_t prefetch_depth = 8;
+  // Key-to-server mapping (§3.1.2): modulo by default, ketama optional.
+  hash::HashKind hash_kind = hash::HashKind::kFnv1a64;
+  bool use_ketama = false;
+  // Fault-tolerance extension (§3.2.5, the paper's future work): each stripe
+  // and metadata record is stored on `replication` consecutive servers of
+  // the hash ring. Writes go to all replicas (n x network traffic, 1/n
+  // usable capacity — exactly the cost the paper predicts); reads fail over
+  // to the next replica when a server is down. 1 = off (the paper's
+  // evaluated configuration).
+  std::uint32_t replication = 1;
+  FuseConfig fuse;
+  // Optional per-operation latency instrumentation (owned by the caller;
+  // must outlive the file system). Records vfs.create/open/read/write/
+  // flush/close histograms.
+  MetricsRegistry* metrics = nullptr;
+};
+
+struct MemFsStats {
+  std::uint64_t files_created = 0;
+  std::uint64_t files_opened = 0;
+  std::uint64_t bytes_written = 0;   // application writes
+  std::uint64_t bytes_read = 0;      // application reads
+  std::uint64_t stripe_sets = 0;
+  std::uint64_t stripe_gets = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  // Reads answered by a non-primary replica after a failure (replication>1).
+  std::uint64_t replica_failovers = 0;
+};
+
+class MemFs final : public Vfs {
+ public:
+  // `storage` is the Memcached-like deployment the FS runs against; clients
+  // on every node address all of its servers (the paper's requirement that
+  // each FUSE client knows the full server list). `network` provides the
+  // node count for the per-node pools and traffic accounting.
+  MemFs(sim::Simulation& sim, net::Network& network, kv::KvCluster& storage,
+        MemFsConfig config);
+
+  sim::Future<Result<FileHandle>> Create(VfsContext ctx,
+                                         std::string path) override;
+  sim::Future<Result<FileHandle>> Open(VfsContext ctx,
+                                       std::string path) override;
+  sim::Future<Status> Write(VfsContext ctx, FileHandle handle,
+                            Bytes data) override;
+  sim::Future<Result<Bytes>> Read(VfsContext ctx, FileHandle handle,
+                                  std::uint64_t offset,
+                                  std::uint64_t length) override;
+  sim::Future<Status> Flush(VfsContext ctx, FileHandle handle) override;
+  sim::Future<Status> Close(VfsContext ctx, FileHandle handle) override;
+  sim::Future<Status> Mkdir(VfsContext ctx, std::string path) override;
+  sim::Future<Result<std::vector<FileInfo>>> ReadDir(VfsContext ctx,
+                                                     std::string path) override;
+  sim::Future<Result<FileInfo>> Stat(VfsContext ctx,
+                                     std::string path) override;
+  sim::Future<Status> Unlink(VfsContext ctx, std::string path) override;
+  sim::Future<Status> Rmdir(VfsContext ctx, std::string path) override;
+
+  const MemFsConfig& config() const { return config_; }
+  const MemFsStats& stats() const { return stats_; }
+  const Striper& striper() const { return striper_; }
+  // Distributor of the current (newest) ring epoch.
+  const hash::Distributor& distributor() const { return *epochs_.back(); }
+  FuseLayer& fuse() { return fuse_; }
+
+  // Elastic scale-out (the paper's future work, §5): registers server
+  // `kv_node` with the storage layer and opens a new ring epoch over the
+  // enlarged server set. Files written from now on stripe across all
+  // servers; existing files keep the epoch recorded in their metadata, so
+  // no data migrates and old reads are unaffected. Returns the new epoch.
+  std::uint32_t AddStorageServer(net::NodeId kv_node);
+  std::uint32_t current_epoch() const {
+    return static_cast<std::uint32_t>(epochs_.size() - 1);
+  }
+
+ private:
+  struct OpenFile {
+    std::string path;
+    net::NodeId node = 0;
+    bool writing = false;
+    std::uint32_t epoch = 0;  // ring epoch governing stripe placement
+
+    // Write state.
+    Bytes pending;                 // unshipped buffer tail
+    std::uint32_t next_stripe = 0;
+    std::uint64_t written = 0;
+    Status first_error;
+    std::unique_ptr<sim::Semaphore> tokens;   // buffer capacity, in stripes
+    std::unique_ptr<sim::WaitGroup> inflight;
+
+    // Read state.
+    std::uint64_t size = 0;
+    std::unordered_map<std::uint32_t, sim::Future<Result<Bytes>>> cache;
+    std::deque<std::uint32_t> cache_order;
+    std::uint64_t sequential_end = 0;  // end offset of the last read
+  };
+
+  // Metadata placement: always epoch 0, over the mount-time server set, so
+  // records stay findable across scale-outs.
+  std::uint32_t ServerFor(std::string_view key) const {
+    return epochs_.front()->ServerFor(key);
+  }
+
+  // Number of copies actually kept (capped at the epoch's server count) and
+  // the server holding copy `replica` of `key` under `epoch` (consecutive
+  // on that epoch's ring).
+  std::uint32_t ReplicaCount(std::uint32_t epoch) const;
+  std::uint32_t ReplicaServer(std::uint32_t epoch, std::string_view key,
+                              std::uint32_t replica) const;
+
+  // Replication-aware storage primitives. With replication == 1 these are
+  // plain single-server operations. `epoch` selects the placement ring
+  // (metadata uses 0, stripes their file's epoch).
+  sim::Future<Status> ReplicatedSet(std::uint32_t epoch, net::NodeId node,
+                                    std::string key, Bytes value);
+  sim::Future<Status> ReplicatedAppend(std::uint32_t epoch, net::NodeId node,
+                                       std::string key, Bytes suffix);
+  sim::Future<Status> ReplicatedDelete(std::uint32_t epoch, net::NodeId node,
+                                       std::string key);
+  // Tries replicas in ring order until one answers; NOT_FOUND only if every
+  // reachable replica lacks the key.
+  sim::Future<Result<Bytes>> FailoverGet(std::uint32_t epoch,
+                                         net::NodeId node, std::string key);
+
+  sim::Task RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
+                                  std::string key, Bytes value, bool append,
+                                  sim::Promise<Status> done);
+  sim::Task RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
+                                std::string key, sim::Promise<Status> done);
+  sim::Task RunFailoverGet(std::uint32_t epoch, net::NodeId node,
+                           std::string key,
+                           sim::Promise<Result<Bytes>> done);
+
+  Result<OpenFile*> FindHandle(FileHandle handle, bool writing);
+
+  // Ships one stripe asynchronously (or inline when io_threads == 0),
+  // respecting buffer capacity and pool width. Awaited by the writer, so
+  // backpressure blocks the application exactly when the 8 MB buffer is full.
+  sim::Task SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
+                         sim::VoidPromise accepted);
+  sim::Task FlushStripe(OpenFile* file, std::string key, Bytes data);
+
+  // Returns the cached or newly fetched stripe future; starts a fetch task
+  // when absent.
+  sim::Future<Result<Bytes>> EnsureStripe(OpenFile* file, std::uint32_t index,
+                                          bool prefetch);
+  sim::Task FetchStripe(net::NodeId node, std::uint32_t epoch,
+                        std::string key,
+                        sim::Promise<Result<Bytes>> promise);
+
+  // Operation bodies (coroutines writing into promises).
+  sim::Task DoCreate(VfsContext ctx, std::string path,
+                     sim::Promise<Result<FileHandle>> done);
+  sim::Task DoOpen(VfsContext ctx, std::string path,
+                   sim::Promise<Result<FileHandle>> done);
+  sim::Task DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
+                    sim::Promise<Status> done);
+  sim::Task DoRead(VfsContext ctx, FileHandle handle, std::uint64_t offset,
+                   std::uint64_t length, sim::Promise<Result<Bytes>> done);
+  sim::Task DoFlush(VfsContext ctx, FileHandle handle,
+                    sim::Promise<Status> done);
+  sim::Task DoClose(VfsContext ctx, FileHandle handle,
+                    sim::Promise<Status> done);
+  sim::Task DoMkdir(VfsContext ctx, std::string path,
+                    sim::Promise<Status> done);
+  sim::Task DoReadDir(VfsContext ctx, std::string path,
+                      sim::Promise<Result<std::vector<FileInfo>>> done);
+  sim::Task DoStat(VfsContext ctx, std::string path,
+                   sim::Promise<Result<FileInfo>> done);
+  sim::Task DoUnlink(VfsContext ctx, std::string path,
+                     sim::Promise<Status> done);
+  sim::Task DoRmdir(VfsContext ctx, std::string path,
+                    sim::Promise<Status> done);
+
+  std::unique_ptr<hash::Distributor> MakeDistributor(
+      std::uint32_t servers) const;
+
+  sim::Simulation& sim_;
+  kv::KvCluster& storage_;
+  MemFsConfig config_;
+  Striper striper_;
+  // One distributor per ring epoch; epochs_.back() places new files.
+  std::vector<std::unique_ptr<hash::Distributor>> epochs_;
+  FuseLayer fuse_;
+
+  // Per-node buffering and prefetching pools (§3.2.2).
+  std::vector<std::unique_ptr<sim::Semaphore>> write_pool_;
+  std::vector<std::unique_ptr<sim::Semaphore>> read_pool_;
+
+  std::unordered_map<FileHandle, std::unique_ptr<OpenFile>> handles_;
+  FileHandle next_handle_ = 1;
+  MemFsStats stats_;
+};
+
+}  // namespace memfs::fs

@@ -1,0 +1,107 @@
+#include "memfs/metadata.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace memfs::fs::meta {
+
+Bytes EncodeFile(const FileMeta& meta) {
+  std::string text = "F ";
+  text += std::to_string(meta.size);
+  text += meta.sealed ? " 1" : " 0";
+  if (meta.epoch != 0) {
+    text += ' ';
+    text += std::to_string(meta.epoch);
+  }
+  text += '\n';
+  return Bytes::Copy(text);
+}
+
+Bytes DirHeader() { return Bytes::Copy("D\n"); }
+
+Bytes DirEvent(std::string_view name, bool deleted) {
+  std::string text;
+  text.reserve(name.size() + 2);
+  text.push_back(deleted ? '-' : '+');
+  text.append(name);
+  text.push_back('\n');
+  return Bytes::Copy(text);
+}
+
+Result<Decoded> Decode(const Bytes& value) {
+  if (!value.is_real()) {
+    return status::InvalidArgument("metadata must be a real payload");
+  }
+  const std::string_view text = value.view();
+  if (text.empty()) return status::InvalidArgument("empty metadata record");
+
+  Decoded out;
+  if (text[0] == 'F') {
+    out.kind = Kind::kFile;
+    // "F <size> <sealed>\n"
+    const auto size_begin = text.find(' ');
+    if (size_begin == std::string_view::npos) {
+      return status::InvalidArgument("truncated file record");
+    }
+    const auto size_end = text.find(' ', size_begin + 1);
+    if (size_end == std::string_view::npos) {
+      return status::InvalidArgument("truncated file record");
+    }
+    const std::string_view size_str =
+        text.substr(size_begin + 1, size_end - size_begin - 1);
+    auto [ptr, ec] = std::from_chars(
+        size_str.data(), size_str.data() + size_str.size(), out.file.size);
+    if (ec != std::errc() || ptr != size_str.data() + size_str.size()) {
+      return status::InvalidArgument("bad file size");
+    }
+    out.file.sealed = size_end + 1 < text.size() && text[size_end + 1] == '1';
+    // Optional ring epoch (absent in records written before a scale-out).
+    const auto epoch_begin = text.find(' ', size_end + 1);
+    if (epoch_begin != std::string_view::npos) {
+      const std::string_view epoch_str = text.substr(
+          epoch_begin + 1, text.find('\n', epoch_begin) - epoch_begin - 1);
+      std::uint32_t epoch = 0;
+      auto [eptr, eec] = std::from_chars(
+          epoch_str.data(), epoch_str.data() + epoch_str.size(), epoch);
+      if (eec == std::errc() &&
+          eptr == epoch_str.data() + epoch_str.size()) {
+        out.file.epoch = epoch;
+      }
+    }
+    return out;
+  }
+
+  if (text[0] == 'D') {
+    out.kind = Kind::kDirectory;
+    // Fold the "+name"/"-name" event log into the live listing. Order is
+    // preserved for deterministic ReadDir output; a re-created name reappears
+    // at its new position.
+    std::size_t pos = text.find('\n');
+    if (pos == std::string_view::npos) {
+      return status::InvalidArgument("truncated directory record");
+    }
+    ++pos;
+    std::vector<std::string> live;
+    while (pos < text.size()) {
+      auto end = text.find('\n', pos);
+      if (end == std::string_view::npos) end = text.size();
+      const std::string_view line = text.substr(pos, end - pos);
+      pos = end + 1;
+      if (line.size() < 2) continue;
+      const std::string name(line.substr(1));
+      if (line[0] == '+') {
+        if (std::find(live.begin(), live.end(), name) == live.end()) {
+          live.push_back(name);
+        }
+      } else if (line[0] == '-') {
+        live.erase(std::remove(live.begin(), live.end(), name), live.end());
+      }
+    }
+    out.entries = std::move(live);
+    return out;
+  }
+
+  return status::InvalidArgument("unknown metadata record type");
+}
+
+}  // namespace memfs::fs::meta

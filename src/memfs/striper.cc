@@ -1,0 +1,52 @@
+#include "memfs/striper.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace memfs::fs {
+
+Striper::Striper(std::uint64_t stripe_size) : stripe_size_(stripe_size) {
+  assert(stripe_size > 0);
+}
+
+std::uint32_t Striper::StripeCount(std::uint64_t file_size) const {
+  return static_cast<std::uint32_t>((file_size + stripe_size_ - 1) /
+                                    stripe_size_);
+}
+
+std::uint64_t Striper::StripeLength(std::uint32_t index,
+                                    std::uint64_t file_size) const {
+  const std::uint64_t start = static_cast<std::uint64_t>(index) * stripe_size_;
+  if (start >= file_size) return 0;
+  return std::min(stripe_size_, file_size - start);
+}
+
+std::vector<StripeSpan> Striper::Spans(std::uint64_t offset,
+                                       std::uint64_t length,
+                                       std::uint64_t file_size) const {
+  std::vector<StripeSpan> spans;
+  if (offset >= file_size) return spans;
+  const std::uint64_t end = std::min(offset + length, file_size);
+  std::uint64_t pos = offset;
+  while (pos < end) {
+    StripeSpan span;
+    span.stripe = static_cast<std::uint32_t>(pos / stripe_size_);
+    span.offset_in_stripe = pos % stripe_size_;
+    span.length = std::min(stripe_size_ - span.offset_in_stripe, end - pos);
+    span.offset_in_request = pos - offset;
+    spans.push_back(span);
+    pos += span.length;
+  }
+  return spans;
+}
+
+std::string Striper::StripeKey(std::string_view path, std::uint32_t index) {
+  std::string key;
+  key.reserve(path.size() + 12);
+  key.append(path);
+  key.push_back('#');
+  key.append(std::to_string(index));
+  return key;
+}
+
+}  // namespace memfs::fs

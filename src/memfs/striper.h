@@ -1,0 +1,52 @@
+// File striping arithmetic (§3.2.1).
+//
+// A file is the concatenation of fixed-size stripes, each stored as one
+// key-value object named "<path>#<stripe index>" — the key the distributed
+// hash function maps to a storage server. Striping is what lets MemFS (1)
+// store files larger than any single node's memory, (2) move data over
+// parallel streams to many servers at once, and (3) serve small reads of
+// large files without fetching the whole file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memfs::fs {
+
+struct StripeSpan {
+  std::uint32_t stripe = 0;          // stripe index within the file
+  std::uint64_t offset_in_stripe = 0;
+  std::uint64_t length = 0;          // bytes of this span
+  std::uint64_t offset_in_request = 0;  // where the span lands in the result
+};
+
+class Striper {
+ public:
+  explicit Striper(std::uint64_t stripe_size);
+
+  std::uint64_t stripe_size() const { return stripe_size_; }
+
+  // Number of stripes needed for a file of `file_size` bytes (0 -> 0).
+  std::uint32_t StripeCount(std::uint64_t file_size) const;
+
+  // Size of stripe `index` in a file of `file_size` bytes.
+  std::uint64_t StripeLength(std::uint32_t index,
+                             std::uint64_t file_size) const;
+
+  // Decomposes the byte range [offset, offset+length) of a file of
+  // `file_size` bytes into per-stripe spans, clamped to EOF, in order.
+  std::vector<StripeSpan> Spans(std::uint64_t offset, std::uint64_t length,
+                                std::uint64_t file_size) const;
+
+  // Storage key of stripe `index` of `path`: "<path>#<index>". '#' cannot
+  // appear in a normalized path component used by the workloads, and
+  // metadata keys are the bare path, so key spaces never collide.
+  static std::string StripeKey(std::string_view path, std::uint32_t index);
+
+ private:
+  std::uint64_t stripe_size_;
+};
+
+}  // namespace memfs::fs

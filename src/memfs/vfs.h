@@ -1,0 +1,107 @@
+// POSIX-style virtual file system interface.
+//
+// Both file systems in this reproduction — MemFS (striped, locality-agnostic)
+// and AMFS (local writes, locality-based) — implement this interface, so the
+// MTC workflow runner and the MTC-Envelope benchmarks drive either one
+// unchanged. The interface mirrors what the paper's applications use through
+// FUSE: create/open/read/write/close plus directory and metadata operations.
+//
+// Semantics: "write-once, read-many" (§3.2.3). A file is created, written
+// strictly sequentially by one writer, and sealed by Close; afterwards it can
+// be opened and read any number of times, at any offsets. Reopening a sealed
+// file for writing fails with PERMISSION.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "sim/future.h"
+
+namespace memfs::fs {
+
+using FileHandle = std::uint64_t;
+
+// Identifies the caller: which node it runs on and which process slot it is
+// (the process index selects the FUSE mountpoint under the multi-mount
+// deployment of Fig. 10b).
+struct VfsContext {
+  net::NodeId node = 0;
+  std::uint32_t process = 0;
+};
+
+struct FileInfo {
+  std::string name;
+  std::uint64_t size = 0;
+  bool is_directory = false;
+  bool sealed = true;  // files only; false while still open for writing
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // Creates `path` and opens it for (sequential) writing.
+  virtual sim::Future<Result<FileHandle>> Create(VfsContext ctx,
+                                                 std::string path) = 0;
+
+  // Opens an existing, sealed file for reading.
+  virtual sim::Future<Result<FileHandle>> Open(VfsContext ctx,
+                                               std::string path) = 0;
+
+  // Appends `data` at the current write position. Only valid on handles
+  // returned by Create; enforced sequential.
+  virtual sim::Future<Status> Write(VfsContext ctx, FileHandle handle,
+                                    Bytes data) = 0;
+
+  // Reads up to `length` bytes at `offset` (any offset; short reads at EOF).
+  virtual sim::Future<Result<Bytes>> Read(VfsContext ctx, FileHandle handle,
+                                          std::uint64_t offset,
+                                          std::uint64_t length) = 0;
+
+  // For write handles: waits until all in-flight buffered stripes have
+  // reached the servers, without sealing — the paper's flush() (§3.2.2:
+  // "whenever an application calls close(), or flush(), our file system
+  // waits until the write buffer has been emptied"). A sub-stripe tail stays
+  // buffered (only close may emit the short final stripe). The handle
+  // remains writable. No-op on read handles.
+  virtual sim::Future<Status> Flush(VfsContext ctx, FileHandle handle) = 0;
+
+  // For write handles: drains buffered data and seals the file (flush +
+  // close in the paper's protocol). For read handles: releases state.
+  virtual sim::Future<Status> Close(VfsContext ctx, FileHandle handle) = 0;
+
+  virtual sim::Future<Status> Mkdir(VfsContext ctx, std::string path) = 0;
+
+  virtual sim::Future<Result<std::vector<FileInfo>>> ReadDir(
+      VfsContext ctx, std::string path) = 0;
+
+  virtual sim::Future<Result<FileInfo>> Stat(VfsContext ctx,
+                                             std::string path) = 0;
+
+  virtual sim::Future<Status> Unlink(VfsContext ctx, std::string path) = 0;
+
+  // Removes an empty directory (NOT_EMPTY otherwise; the root is
+  // irremovable).
+  virtual sim::Future<Status> Rmdir(VfsContext ctx, std::string path) = 0;
+};
+
+// Path helpers shared by both file systems.
+namespace path {
+
+// Parent directory of a normalized absolute path ("/a/b" -> "/a", "/a" -> "/").
+std::string Parent(const std::string& p);
+
+// Final component ("/a/b" -> "b").
+std::string Basename(const std::string& p);
+
+// True for a normalized absolute path: starts with '/', no empty or "." /
+// ".." components, no trailing slash (except the root itself).
+bool IsNormalized(const std::string& p);
+
+}  // namespace path
+
+}  // namespace memfs::fs

@@ -1,0 +1,155 @@
+#include "mtc/staging.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace memfs::mtc {
+
+sim::Task Stager::CopyOneFile(fs::Vfs& source, fs::Vfs& destination,
+                              std::string path, fs::VfsContext ctx,
+                              Shared* shared) {
+  co_await shared->streams->Acquire();
+
+  Status status;
+  auto src = co_await source.Open(ctx, path);
+  if (!src.ok()) {
+    status = src.status();
+  } else {
+    auto dst = co_await destination.Create(ctx, path);
+    if (!dst.ok()) {
+      status = dst.status();
+    } else {
+      std::uint64_t offset = 0;
+      while (status.ok()) {
+        auto chunk =
+            co_await source.Read(ctx, src.value(), offset, config_.io_block);
+        if (!chunk.ok()) {
+          status = chunk.status();
+          break;
+        }
+        if (chunk->empty()) break;
+        const std::uint64_t got = chunk->size();
+        status = co_await destination.Write(ctx, dst.value(),
+                                            std::move(chunk.value()));
+        offset += got;
+        if (got < config_.io_block) break;
+      }
+      Status closed = co_await destination.Close(ctx, dst.value());
+      if (status.ok()) status = closed;
+      if (status.ok()) {
+        shared->bytes += offset;
+        ++shared->files;
+      }
+    }
+    (void)co_await source.Close(ctx, src.value());
+  }
+
+  if (!status.ok() && shared->first_error.ok()) {
+    shared->first_error = std::move(status);
+  }
+  shared->streams->Release();
+  shared->wg->Done();
+}
+
+StagingReport Stager::CopyFiles(fs::Vfs& source, fs::Vfs& destination,
+                                const std::vector<std::string>& paths) {
+  sim::Semaphore streams(sim_, std::max<std::uint32_t>(config_.streams, 1));
+  sim::WaitGroup wg(sim_);
+  Shared shared{&streams, &wg, Status::Ok(), 0, 0};
+
+  const sim::SimTime start = sim_.now();
+  std::uint32_t next_node = 0;
+  for (const auto& path : paths) {
+    wg.Add();
+    const fs::VfsContext ctx{next_node, 0};
+    next_node = (next_node + 1) % std::max<std::uint32_t>(config_.nodes, 1);
+    CopyOneFile(source, destination, path, ctx, &shared);
+  }
+  sim_.Run();
+
+  StagingReport report;
+  report.status = shared.first_error;
+  report.files = shared.files;
+  report.bytes = shared.bytes;
+  report.elapsed = sim_.now() - start;
+  return report;
+}
+
+sim::Task Stager::ListTree(fs::Vfs& source, std::string root,
+                           std::vector<std::string>* files,
+                           std::vector<std::string>* dirs, Status* status,
+                           bool* done) {
+  const fs::VfsContext ctx{0, 0};
+  std::deque<std::string> pending;
+  pending.push_back(std::move(root));
+  while (!pending.empty()) {
+    const std::string dir = std::move(pending.front());
+    pending.pop_front();
+    auto listing = co_await source.ReadDir(ctx, dir);
+    if (!listing.ok()) {
+      *status = listing.status();
+      break;
+    }
+    for (const auto& entry : listing.value()) {
+      const std::string child =
+          dir == "/" ? "/" + entry.name : dir + "/" + entry.name;
+      auto info = co_await source.Stat(ctx, child);
+      if (!info.ok()) {
+        *status = info.status();
+        break;
+      }
+      if (info->is_directory) {
+        dirs->push_back(child);
+        pending.push_back(child);
+      } else {
+        files->push_back(child);
+      }
+    }
+    if (!status->ok()) break;
+  }
+  *done = true;
+}
+
+StagingReport Stager::CopyTree(fs::Vfs& source, fs::Vfs& destination,
+                               const std::string& root) {
+  std::vector<std::string> files;
+  std::vector<std::string> dirs;
+  Status list_status;
+  bool listed = false;
+  ListTree(source, root, &files, &dirs, &list_status, &listed);
+  sim_.Run();
+  if (!listed || !list_status.ok()) {
+    StagingReport report;
+    report.status = list_status.ok()
+                        ? status::Internal("tree listing stalled")
+                        : list_status;
+    return report;
+  }
+
+  // Recreate the directory skeleton in BFS order (parents first), starting
+  // with the root itself.
+  if (root != "/") dirs.insert(dirs.begin(), root);
+  Status mkdir_status;
+  bool mkdirs_done = false;
+  [](fs::Vfs& dst, std::vector<std::string> tree, Status* out,
+     bool* flag) -> sim::Task {
+    for (const auto& dir : tree) {
+      Status made = co_await dst.Mkdir(fs::VfsContext{0, 0}, dir);
+      if (!made.ok() && made.code() != ErrorCode::kExists) {
+        *out = std::move(made);
+        break;
+      }
+    }
+    *flag = true;
+  }(destination, dirs, &mkdir_status, &mkdirs_done);
+  sim_.Run();
+  if (!mkdirs_done || !mkdir_status.ok()) {
+    StagingReport report;
+    report.status = mkdir_status;
+    return report;
+  }
+
+  return CopyFiles(source, destination, files);
+}
+
+}  // namespace memfs::mtc

@@ -1,0 +1,80 @@
+// Data staging between file systems (§2).
+//
+// A runtime file system lives only as long as the application: inputs must
+// be staged in from permanent storage before the workflow starts, and
+// results staged out afterwards ("the output must be staged out to permanent
+// storage"). This utility copies file trees between any two Vfs instances —
+// typically the disk-backed DiskPFS (permanent) and MemFS (runtime) — with a
+// bounded number of parallel streams, preserving content (verified by the
+// payload fingerprints on request).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "memfs/vfs.h"
+#include "sim/future.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace memfs::mtc {
+
+struct StagingConfig {
+  // Parallel transfer streams (files in flight at once).
+  std::uint32_t streams = 8;
+  // Copy granularity.
+  std::uint64_t io_block = units::MiB(1);
+  // Compute nodes the streams are spread over (round-robin).
+  std::uint32_t nodes = 1;
+};
+
+struct StagingReport {
+  Status status;
+  std::uint64_t files = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime elapsed = 0;
+
+  double BandwidthMBps() const { return units::MBps(bytes, elapsed); }
+};
+
+class Stager {
+ public:
+  Stager(sim::Simulation& sim, StagingConfig config)
+      : sim_(sim), config_(config) {}
+
+  // Copies every listed file from `source` to `destination` (same paths;
+  // destination directories must already exist). Drives the simulation loop
+  // to completion.
+  StagingReport CopyFiles(fs::Vfs& source, fs::Vfs& destination,
+                          const std::vector<std::string>& paths);
+
+  // Recursively copies the tree under `root` (directories are recreated on
+  // the destination, files copied).
+  StagingReport CopyTree(fs::Vfs& source, fs::Vfs& destination,
+                         const std::string& root);
+
+ private:
+  struct Shared {
+    sim::Semaphore* streams;
+    sim::WaitGroup* wg;
+    Status first_error;
+    std::uint64_t bytes = 0;
+    std::uint64_t files = 0;
+  };
+
+  sim::Task CopyOneFile(fs::Vfs& source, fs::Vfs& destination,
+                        std::string path, fs::VfsContext ctx, Shared* shared);
+  sim::Task ListTree(fs::Vfs& source, std::string root,
+                     std::vector<std::string>* files,
+                     std::vector<std::string>* dirs, Status* status,
+                     bool* done);
+
+  sim::Simulation& sim_;
+  StagingConfig config_;
+};
+
+}  // namespace memfs::mtc

@@ -1,0 +1,68 @@
+// Many-task workflow representation.
+//
+// An MTC application is a set of tasks communicating through files in the
+// runtime file system (§1). A task reads its input files, computes, and
+// writes its output files; the DAG is implicit in the producer/consumer
+// relation over paths. Workload generators (src/workloads) build these
+// structures with the paper's stage shapes and file-size distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace memfs::mtc {
+
+struct OutputSpec {
+  std::string path;
+  std::uint64_t size = 0;
+};
+
+struct TaskSpec {
+  std::string name;   // unique, e.g. "mDiffFit-0042"
+  std::string stage;  // reporting group, e.g. "mDiffFit"
+  std::vector<std::string> inputs;
+  std::vector<OutputSpec> outputs;
+  // Pure compute time on one core (scaled per workload; §4.2's CPU-bound vs
+  // I/O-bound stage distinction lives here).
+  sim::SimTime cpu_time = 0;
+};
+
+struct Workflow {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+  // Directories created (in order) before any task runs.
+  std::vector<std::string> directories;
+
+  // Total bytes of every output in the workflow ("runtime data", Table 2).
+  std::uint64_t TotalOutputBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& task : tasks) {
+      for (const auto& out : task.outputs) total += out.size;
+    }
+    return total;
+  }
+
+  // Producer index: path -> task index that writes it. Paths with no
+  // producer must pre-exist in the file system.
+  std::unordered_map<std::string, std::size_t> Producers() const {
+    std::unordered_map<std::string, std::size_t> out;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      for (const auto& output : tasks[i].outputs) {
+        out.emplace(output.path, i);
+      }
+    }
+    return out;
+  }
+};
+
+// Deterministic content seed for a workload file; writers generate the file
+// as Bytes::Synthetic(size, FileSeed(path)) and readers verify slices
+// against the same seed.
+std::uint64_t FileSeed(const std::string& path);
+
+}  // namespace memfs::mtc

@@ -1,0 +1,246 @@
+#include "net/fluid_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace memfs::net {
+
+namespace {
+// Flows with less than this many bytes left are considered delivered; covers
+// the floating-point slack introduced by rounding completion times up to
+// whole nanoseconds.
+constexpr double kDoneEpsilonBytes = 1e-3;
+}  // namespace
+
+FluidNetwork::FluidNetwork(sim::Simulation& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {
+  const std::size_t n = config_.nodes;
+  capacity_.assign(3 * n + 1, 0.0);
+  counts_.assign(3 * n + 1, 0);
+  sent_.assign(n, 0);
+  received_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    capacity_[EgressOf(static_cast<NodeId>(i))] =
+        static_cast<double>(config_.nic_bandwidth);
+    capacity_[IngressOf(static_cast<NodeId>(i))] =
+        static_cast<double>(config_.nic_bandwidth);
+    capacity_[LocalOf(static_cast<NodeId>(i))] =
+        static_cast<double>(config_.local_bandwidth);
+  }
+  capacity_[Fabric()] = config_.fabric_bandwidth == 0
+                            ? std::numeric_limits<double>::infinity()
+                            : static_cast<double>(config_.fabric_bandwidth);
+}
+
+sim::VoidFuture FluidNetwork::Transfer(NodeId src, NodeId dst,
+                                       std::uint64_t bytes) {
+  assert(src < config_.nodes && dst < config_.nodes);
+  sim::VoidPromise promise(sim_);
+  auto future = promise.GetFuture();
+
+  sent_[src] += bytes;
+  received_[dst] += bytes;
+  total_bytes_ += bytes;
+
+  const bool local = src == dst;
+  const sim::SimTime latency =
+      local ? config_.local_latency : config_.remote_latency;
+
+  if (bytes == 0) {
+    sim_.Schedule(latency, [promise]() mutable { promise.Set(sim::Done{}); });
+    return future;
+  }
+
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = static_cast<double>(bytes);
+  flow.promise = promise;
+  if (local) {
+    flow.resources = {LocalOf(src)};
+  } else {
+    flow.resources = {EgressOf(src), IngressOf(dst)};
+    if (config_.fabric_bandwidth != 0) flow.resources.push_back(Fabric());
+  }
+
+  const std::uint64_t id = next_flow_id_++;
+  // The flow enters the fluid stage after its one-way latency; small
+  // transfers are therefore latency-dominated, as the paper observes for
+  // 1 KB files.
+  sim_.Schedule(latency, [this, id, flow = std::move(flow)]() mutable {
+    Activate(id, std::move(flow));
+  });
+  return future;
+}
+
+void FluidNetwork::Activate(std::uint64_t id, Flow flow) {
+  AdvanceProgress();
+  for (ResourceId r : flow.resources) ++counts_[r];
+  active_.emplace(id, std::move(flow));
+  Reallocate();
+  ScheduleNextCompletion();
+}
+
+void FluidNetwork::AdvanceProgress() {
+  const sim::SimTime now = sim_.now();
+  if (now == last_advance_) return;
+  const double elapsed_sec = units::ToSeconds(now - last_advance_);
+  for (auto& [id, flow] : active_) {
+    flow.remaining -= flow.rate * elapsed_sec;
+    if (flow.remaining < 0.0) flow.remaining = 0.0;
+  }
+  last_advance_ = now;
+}
+
+void FluidNetwork::FinishDueFlows() {
+  // One nanosecond of slack at the current rate: the completion event is
+  // rounded up to a whole nanosecond, so a due flow can retain up to one
+  // nanosecond's worth of bytes.
+  std::vector<std::uint64_t> done;
+  for (auto& [id, flow] : active_) {
+    const double slack =
+        std::max(kDoneEpsilonBytes, flow.rate * 1.5e-9);
+    if (flow.remaining <= slack) done.push_back(id);
+  }
+  for (std::uint64_t id : done) {
+    auto it = active_.find(id);
+    for (ResourceId r : it->second.resources) --counts_[r];
+    it->second.promise.Set(sim::Done{});
+    active_.erase(it);
+  }
+}
+
+void FluidNetwork::ScheduleNextCompletion() {
+  ++completion_generation_;
+  if (active_.empty()) return;
+
+  double min_finish_sec = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : active_) {
+    assert(flow.rate > 0.0 && "active flow with zero rate");
+    min_finish_sec = std::min(min_finish_sec, flow.remaining / flow.rate);
+  }
+  auto delay = static_cast<sim::SimTime>(
+      std::ceil(min_finish_sec * static_cast<double>(units::kNanosPerSec)));
+  const std::uint64_t generation = completion_generation_;
+  sim_.Schedule(delay, [this, generation] {
+    if (generation != completion_generation_) return;  // superseded
+    AdvanceProgress();
+    FinishDueFlows();
+    Reallocate();
+    ScheduleNextCompletion();
+  });
+}
+
+void FairShareNetwork::Reallocate() {
+  for (auto& [id, flow] : active_) {
+    double rate = std::numeric_limits<double>::infinity();
+    for (ResourceId r : flow.resources) {
+      rate = std::min(rate, ResourceCapacity(r) /
+                                static_cast<double>(ResourceFlowCount(r)));
+    }
+    flow.rate = rate;
+  }
+}
+
+void WaterfillNetwork::Reallocate() {
+  // Progressive filling: repeatedly find the resource whose remaining
+  // capacity divided by its unfixed flows is smallest, freeze those flows at
+  // that fair share, charge the frozen rates to their other resources, and
+  // continue until every flow is frozen.
+  if (active_.empty()) return;
+
+  struct ResState {
+    double residual = 0.0;
+    std::uint32_t unfixed = 0;
+  };
+  std::unordered_map<ResourceId, ResState> res;
+  for (auto& [id, flow] : active_) {
+    flow.rate = -1.0;  // -1 marks "not yet frozen"
+    for (ResourceId r : flow.resources) {
+      auto& state = res[r];
+      state.residual = ResourceCapacity(r);
+      ++state.unfixed;
+    }
+  }
+
+  std::size_t remaining_flows = active_.size();
+  while (remaining_flows > 0) {
+    double min_share = std::numeric_limits<double>::infinity();
+    for (const auto& [r, state] : res) {
+      if (state.unfixed == 0) continue;
+      min_share = std::min(min_share,
+                           state.residual / static_cast<double>(state.unfixed));
+    }
+    assert(std::isfinite(min_share));
+
+    // Freeze every unfixed flow that crosses a bottleneck resource (one whose
+    // fair share equals the minimum, within tolerance).
+    const double threshold = min_share * (1.0 + 1e-12) + 1e-9;
+    std::size_t frozen_this_round = 0;
+    for (auto& [id, flow] : active_) {
+      if (flow.rate >= 0.0) continue;
+      bool bottlenecked = false;
+      for (ResourceId r : flow.resources) {
+        const auto& state = res[r];
+        if (state.residual / static_cast<double>(state.unfixed) <= threshold) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      flow.rate = min_share;
+      ++frozen_this_round;
+      for (ResourceId r : flow.resources) {
+        auto& state = res[r];
+        state.residual = std::max(0.0, state.residual - min_share);
+        --state.unfixed;
+      }
+    }
+    assert(frozen_this_round > 0 && "water-filling failed to make progress");
+    remaining_flows -= frozen_this_round;
+  }
+}
+
+NetworkConfig Das4Ipoib(std::uint32_t nodes) {
+  NetworkConfig config;
+  config.nodes = nodes;
+  config.nic_bandwidth = units::GB(1);      // measured IPoIB goodput (§4)
+  config.local_bandwidth = units::GB(10);   // STREAM-class memory bandwidth
+  config.remote_latency = units::Micros(60);
+  config.local_latency = units::Micros(10);
+  return config;
+}
+
+NetworkConfig Das4GbE(std::uint32_t nodes) {
+  NetworkConfig config;
+  config.nodes = nodes;
+  config.nic_bandwidth = units::MB(125);    // 1 Gb/s Ethernet
+  config.local_bandwidth = units::GB(10);
+  config.remote_latency = units::Micros(100);
+  config.local_latency = units::Micros(10);
+  return config;
+}
+
+NetworkConfig RdmaInfiniband(std::uint32_t nodes) {
+  NetworkConfig config;
+  config.nodes = nodes;
+  config.nic_bandwidth = units::GB(5);      // QDR verbs goodput
+  config.local_bandwidth = units::GB(10);   // STREAM memory bandwidth
+  config.remote_latency = units::Micros(3); // kernel-bypass RTT/2
+  config.local_latency = units::Micros(1);
+  return config;
+}
+
+NetworkConfig Ec2TenGbE(std::uint32_t nodes) {
+  NetworkConfig config;
+  config.nodes = nodes;
+  config.nic_bandwidth = units::GB(1);      // iperf-measured on c3.8xlarge
+  config.local_bandwidth = units::GB(10);
+  config.remote_latency = units::Micros(120);  // virtualized stack
+  config.local_latency = units::Micros(15);
+  return config;
+}
+
+}  // namespace memfs::net

@@ -1,0 +1,104 @@
+// Fluid-flow network implementations.
+//
+// Shared machinery (FluidNetwork): flow lifecycle, latency staging, progress
+// advancement, and a single rescheduled next-completion event — so the event
+// queue never accumulates stale per-flow completions. Subclasses only decide
+// how capacity is split among concurrent flows (Reallocate).
+//
+// Resources are indexed as: [0, N) egress NICs, [N, 2N) ingress NICs,
+// [2N, 3N) node-local paths, 3N the optional core fabric.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/future.h"
+#include "sim/simulation.h"
+
+namespace memfs::net {
+
+class FluidNetwork : public Network {
+ public:
+  FluidNetwork(sim::Simulation& sim, NetworkConfig config);
+
+  sim::VoidFuture Transfer(NodeId src, NodeId dst,
+                           std::uint64_t bytes) override;
+
+  const NetworkConfig& config() const override { return config_; }
+  std::uint64_t bytes_sent(NodeId node) const override {
+    return sent_[node];
+  }
+  std::uint64_t bytes_received(NodeId node) const override {
+    return received_[node];
+  }
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+  std::size_t active_flows() const override { return active_.size(); }
+
+ protected:
+  using ResourceId = std::uint32_t;
+
+  struct Flow {
+    NodeId src = 0;
+    NodeId dst = 0;
+    double remaining = 0.0;              // bytes
+    double rate = 0.0;                   // bytes per second
+    std::vector<ResourceId> resources;   // capacities this flow shares
+    sim::VoidPromise promise;
+  };
+
+  ResourceId EgressOf(NodeId n) const { return n; }
+  ResourceId IngressOf(NodeId n) const { return config_.nodes + n; }
+  ResourceId LocalOf(NodeId n) const { return 2 * config_.nodes + n; }
+  ResourceId Fabric() const { return 3 * config_.nodes; }
+
+  // Recomputes `rate` for every flow in `active`. Invoked after each flow
+  // arrival/completion with progress already advanced to the current time.
+  virtual void Reallocate() = 0;
+
+  double ResourceCapacity(ResourceId r) const { return capacity_[r]; }
+  std::uint32_t ResourceFlowCount(ResourceId r) const { return counts_[r]; }
+
+  sim::Simulation& sim_;
+  const NetworkConfig config_;
+  std::unordered_map<std::uint64_t, Flow> active_;
+
+ private:
+  void Activate(std::uint64_t id, Flow flow);
+  void AdvanceProgress();
+  void FinishDueFlows();
+  void ScheduleNextCompletion();
+
+  std::vector<double> capacity_;       // per resource, bytes/sec
+  std::vector<std::uint32_t> counts_;  // active flows per resource
+  std::vector<std::uint64_t> sent_;
+  std::vector<std::uint64_t> received_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t next_flow_id_ = 1;
+  std::uint64_t completion_generation_ = 0;
+  sim::SimTime last_advance_ = 0;
+};
+
+// Each resource divides its capacity evenly among its flows; a flow's rate is
+// the minimum share across its resources. Unclaimed capacity of flows that
+// bottleneck elsewhere is not redistributed.
+class FairShareNetwork final : public FluidNetwork {
+ public:
+  using FluidNetwork::FluidNetwork;
+
+ protected:
+  void Reallocate() override;
+};
+
+// Exact max-min fairness: iteratively saturates the most-contended resource
+// and redistributes the rest (progressive filling / water-filling).
+class WaterfillNetwork final : public FluidNetwork {
+ public:
+  using FluidNetwork::FluidNetwork;
+
+ protected:
+  void Reallocate() override;
+};
+
+}  // namespace memfs::net

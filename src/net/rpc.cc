@@ -1,0 +1,27 @@
+#include "net/rpc.h"
+
+#include "sim/task.h"
+
+namespace memfs::net {
+
+namespace {
+
+sim::Task RunCall(sim::Simulation& sim, Network& network, NodeId client,
+                  NodeId server, RpcOptions options, sim::VoidPromise done) {
+  co_await network.Transfer(client, server, options.request_bytes);
+  if (options.server_time != 0) co_await sim.Delay(options.server_time);
+  co_await network.Transfer(server, client, options.response_bytes);
+  done.Set(sim::Done{});
+}
+
+}  // namespace
+
+sim::VoidFuture Rpc::Call(NodeId client, NodeId server, RpcOptions options) {
+  ++calls_issued_;
+  sim::VoidPromise done(sim_);
+  auto future = done.GetFuture();
+  RunCall(sim_, network_, client, server, options, std::move(done));
+  return future;
+}
+
+}  // namespace memfs::net

@@ -1,0 +1,38 @@
+// Thin request/response helper over a Network.
+//
+// A call is: request transfer (client→server), server service time, response
+// transfer (server→client). The storage protocol in src/kvstore builds its
+// own richer variant (per-op costs, bounded server workers); this helper
+// serves tests, examples and microbenches.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "sim/future.h"
+#include "sim/simulation.h"
+
+namespace memfs::net {
+
+struct RpcOptions {
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  sim::SimTime server_time = 0;
+};
+
+class Rpc {
+ public:
+  Rpc(sim::Simulation& sim, Network& network) : sim_(sim), network_(network) {}
+
+  // Fulfilled when the response has fully arrived back at `client`.
+  sim::VoidFuture Call(NodeId client, NodeId server, RpcOptions options);
+
+  std::uint64_t calls_issued() const { return calls_issued_; }
+
+ private:
+  sim::Simulation& sim_;
+  Network& network_;
+  std::uint64_t calls_issued_ = 0;
+};
+
+}  // namespace memfs::net

@@ -1,0 +1,42 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace memfs::sim {
+
+void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulation::Resume(std::coroutine_handle<> handle, SimTime delay) {
+  Schedule(delay, [handle] { handle.resume(); });
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out so that callbacks
+  // may schedule further events while we run this one.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+SimTime Simulation::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace memfs::sim

@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulation core.
+//
+// Simulated time is a nanosecond counter. All activity — timer expiry,
+// coroutine resumption, RPC completion — flows through one event queue
+// ordered by (time, insertion sequence), so a given program produces a
+// bit-identical event order on every run. This determinism is what makes the
+// reproduced figures stable and the tests exact.
+//
+// Concurrency model: simulated processes are C++20 coroutines (sim::Task)
+// that suspend on awaitables (Delay, Future, Semaphore, ...) and are resumed
+// by the event loop. There is no real threading inside a Simulation; "thread
+// pools" in the file-system clients are modelled as bounded concurrent
+// coroutines, which matches how the paper's buffering/prefetching threads
+// behave (they are I/O-bound and serialize on the network anyway).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace memfs::sim {
+
+using SimTime = std::uint64_t;  // nanoseconds since simulation start
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` nanoseconds from now. Events scheduled for
+  // the same instant run in scheduling order.
+  void Schedule(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules resumption of a suspended coroutine through the event queue so
+  // that wakeups interleave deterministically with timers.
+  void Resume(std::coroutine_handle<> handle, SimTime delay = 0);
+
+  // Runs one event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the event queue drains. Returns the final simulated time.
+  SimTime Run();
+
+  // Runs until the queue drains or simulated time would pass `deadline`.
+  SimTime RunUntil(SimTime deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // Awaitable: co_await sim.Delay(ns) suspends the calling coroutine for the
+  // given simulated duration.
+  struct DelayAwaiter {
+    Simulation* sim;
+    SimTime delay;
+    bool await_ready() const noexcept { return delay == 0; }
+    void await_suspend(std::coroutine_handle<> h) { sim->Resume(h, delay); }
+    void await_resume() const noexcept {}
+  };
+
+  DelayAwaiter Delay(SimTime nanos) { return {this, nanos}; }
+
+  // Awaitable that always suspends and requeues, yielding to other events at
+  // the current instant (a cooperative "sched_yield").
+  struct YieldAwaiter {
+    Simulation* sim;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sim->Resume(h, 0); }
+    void await_resume() const noexcept {}
+  };
+
+  YieldAwaiter Yield() { return {this}; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace memfs::sim

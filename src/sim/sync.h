@@ -1,0 +1,123 @@
+// Synchronization primitives for simulated processes.
+//
+//  * Semaphore — counting semaphore; models bounded resources such as CPU
+//    cores per node, buffering/prefetching "thread pool" slots, and, with a
+//    count of one, the FUSE per-mountpoint lock from the paper's Fig. 10.
+//  * WaitGroup — completion counter for fan-out/fan-in (wait for all stripe
+//    transfers of a buffer flush, all tasks of a workflow stage, ...).
+//
+// All wakeups are funnelled through the Simulation event queue so waiters
+// resume in FIFO order, deterministically.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace memfs::sim {
+
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::uint64_t count)
+      : sim_(&sim), count_(count) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct Acquirer {
+    Semaphore* sem;
+    bool await_ready() const noexcept {
+      if (sem->count_ > 0 && sem->waiters_.empty()) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // co_await sem.Acquire(); ... sem.Release();
+  Acquirer Acquire() { return {this}; }
+
+  // Non-blocking acquire.
+  bool TryAcquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      // Hand the permit directly to the longest waiter; it resumes through
+      // the event queue at the current simulated instant.
+      auto handle = waiters_.front();
+      waiters_.pop_front();
+      sim_->Resume(handle);
+      return;
+    }
+    ++count_;
+  }
+
+  std::uint64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::uint64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// RAII-ish helper for the common "hold a permit for a simulated duration"
+// pattern; used for modelling service times on serialized resources.
+//
+//   co_await HoldFor(sim, mount_lock, op_cost_ns);
+//
+// Implemented as an awaitable coroutine-free composition: acquire, delay,
+// release. Provided as a function template in resource.h-style call sites.
+
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulation& sim) : sim_(&sim) {}
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void Add(std::uint64_t n = 1) { pending_ += n; }
+
+  void Done() {
+    assert(pending_ > 0 && "WaitGroup::Done without matching Add");
+    if (--pending_ == 0) {
+      for (auto handle : waiters_) sim_->Resume(handle);
+      waiters_.clear();
+    }
+  }
+
+  struct Waiter {
+    WaitGroup* wg;
+    bool await_ready() const noexcept { return wg->pending_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      wg->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Waiter Wait() { return {this}; }
+
+  std::uint64_t pending() const { return pending_; }
+
+ private:
+  Simulation* sim_;
+  std::uint64_t pending_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace memfs::sim

@@ -1,0 +1,32 @@
+// Fire-and-forget simulated process.
+//
+// A function returning sim::Task is a coroutine that starts running
+// immediately when called and owns its own frame: when it finishes, the frame
+// is destroyed automatically. Processes communicate through sim::Future,
+// sim::Semaphore and sim::WaitGroup rather than through the Task handle, so
+// there is deliberately nothing to join on here.
+//
+//   sim::Task Worker(Simulation& sim, WaitGroup& wg) {
+//     co_await sim.Delay(units::Millis(3));
+//     wg.Done();
+//   }
+#pragma once
+
+#include <coroutine>
+#include <exception>
+
+namespace memfs::sim {
+
+struct Task {
+  struct promise_type {
+    Task get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    // The simulator does not use exceptions for control flow; an escaped
+    // exception in a detached process is a programming error.
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+}  // namespace memfs::sim

@@ -1,0 +1,88 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace memfs::sim {
+
+namespace {
+
+// Minimal JSON string escaping (names are ASCII identifiers in practice).
+void EmitJsonString(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+double ToMicros(SimTime nanos) { return static_cast<double>(nanos) / 1e3; }
+
+}  // namespace
+
+void TraceRecorder::AddSpan(std::string name, std::string category,
+                            SimTime start, SimTime end, std::uint32_t pid,
+                            std::uint32_t tid) {
+  spans_.push_back(TraceSpan{std::move(name), std::move(category), start,
+                             end < start ? start : end, pid, tid});
+}
+
+void TraceRecorder::AddInstant(std::string name, std::string category,
+                               SimTime when, std::uint32_t pid) {
+  instants_.push_back(
+      TraceInstant{std::move(name), std::move(category), when, pid});
+}
+
+void TraceRecorder::NameProcess(std::uint32_t pid, std::string label) {
+  process_names_.emplace_back(pid, std::move(label));
+}
+
+void TraceRecorder::WriteJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto separator = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const auto& [pid, label] : process_names_) {
+    separator();
+    os << R"({"ph":"M","name":"process_name","pid":)" << pid
+       << R"(,"args":{"name":)";
+    EmitJsonString(os, label);
+    os << "}}";
+  }
+  for (const auto& span : spans_) {
+    separator();
+    os << R"({"ph":"X","name":)";
+    EmitJsonString(os, span.name);
+    os << R"(,"cat":)";
+    EmitJsonString(os, span.category);
+    os << R"(,"ts":)" << ToMicros(span.start) << R"(,"dur":)"
+       << ToMicros(span.end - span.start) << R"(,"pid":)" << span.pid
+       << R"(,"tid":)" << span.tid << "}";
+  }
+  for (const auto& instant : instants_) {
+    separator();
+    os << R"({"ph":"i","s":"p","name":)";
+    EmitJsonString(os, instant.name);
+    os << R"(,"cat":)";
+    EmitJsonString(os, instant.category);
+    os << R"(,"ts":)" << ToMicros(instant.when) << R"(,"pid":)"
+       << instant.pid << R"(,"tid":0})";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace memfs::sim

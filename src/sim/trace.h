@@ -1,0 +1,60 @@
+// Execution trace recording in the Chrome trace-event format.
+//
+// The workflow runner (and anything else with spans to report) records
+// complete events; WriteJson emits a file loadable in chrome://tracing or
+// https://ui.perfetto.dev, with simulated nodes as "processes" and core
+// slots as "threads" — a per-task timeline of a whole cluster run. Purely
+// additive: nothing records unless a recorder is attached.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace memfs::sim {
+
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::uint32_t pid = 0;  // simulated node
+  std::uint32_t tid = 0;  // core slot / process on that node
+};
+
+struct TraceInstant {
+  std::string name;
+  std::string category;
+  SimTime when = 0;
+  std::uint32_t pid = 0;
+};
+
+class TraceRecorder {
+ public:
+  // A completed span: [start, end) on `pid`/`tid` (node / core slot).
+  void AddSpan(std::string name, std::string category, SimTime start,
+               SimTime end, std::uint32_t pid, std::uint32_t tid);
+
+  // A point event (markers such as "server down").
+  void AddInstant(std::string name, std::string category, SimTime when,
+                  std::uint32_t pid);
+
+  // Labels a pid in the viewer ("node 3").
+  void NameProcess(std::uint32_t pid, std::string label);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceInstant>& instants() const { return instants_; }
+
+  // Chrome trace-event JSON ("traceEvents" array; µs timestamps).
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+};
+
+}  // namespace memfs::sim

@@ -1,0 +1,39 @@
+// BLAST workflow generator (Fig. 1b, §4.2).
+//
+// The paper's scenario: the NCBI nt database (57 GB) is split offline into
+// fragments (512 on DAS4, 1024 on EC2); the fragments are copied into the
+// runtime FS, `formatdb` is applied to each, then `blastall` queries run
+// against the fragments (each reading a query batch AND a database fragment
+// — two inputs, so AMFS again cannot guarantee full locality), and merge
+// jobs aggregate the results.
+//
+//   stage_in  — raw fragments + query batch files into the runtime FS;
+//   formatdb  — per fragment: read raw (~111 MB at 512 fragments), write
+//               formatted fragment of similar size. CPU-bound;
+//   blastall  — per query: read one query batch (small) + one formatted
+//               fragment, write a result file. I/O-bound, high CPU;
+//   merge     — 16 tasks, each aggregating an equal share of the results.
+#pragma once
+
+#include <cstdint>
+
+#include "mtc/workflow.h"
+
+namespace memfs::workloads {
+
+struct BlastParams {
+  std::uint32_t fragments = 512;   // 512 on DAS4, 1024 on EC2 (Table 2)
+  std::uint32_t queries_per_fragment = 16;  // 8192 / 16384 blastall tasks
+  std::uint32_t query_batches = 64;
+  std::uint32_t merges = 16;
+  std::uint64_t database_bytes = 57'000'000'000ull;  // NCBI nt, 57 GB
+  std::uint64_t size_scale = 1;   // divide all file sizes
+  std::uint32_t task_scale = 1;   // divide fragment count (ratios preserved)
+  double formatdb_cpu_s = 25.0;   // CPU-bound
+  double blastall_cpu_s = 6.0;    // high CPU, medium I/O
+  double merge_cpu_s = 2.0;
+};
+
+mtc::Workflow BuildBlast(const BlastParams& params);
+
+}  // namespace memfs::workloads

@@ -1,0 +1,182 @@
+#include "workloads/montage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/units.h"
+
+namespace memfs::workloads {
+
+namespace {
+
+std::string Zero4(std::uint32_t n) {
+  std::string s = std::to_string(n);
+  return std::string(s.size() < 5 ? 5 - s.size() : 0, '0') + s;
+}
+
+sim::SimTime CpuTime(double seconds, std::uint64_t size_scale) {
+  const double scaled = seconds / static_cast<double>(size_scale);
+  return static_cast<sim::SimTime>(scaled *
+                                   static_cast<double>(units::kNanosPerSec));
+}
+
+}  // namespace
+
+std::uint32_t MontageImageCount(std::uint32_t degree) {
+  // 2488 images for the 6x6 M17 mosaic (Table 2); counts grow with area.
+  return static_cast<std::uint32_t>(2488ull * degree * degree / 36ull);
+}
+
+mtc::Workflow BuildMontage(const MontageParams& params) {
+  mtc::Workflow wf;
+  wf.name = "montage-" + std::to_string(params.degree) + "x" +
+            std::to_string(params.degree);
+
+  const std::uint32_t images = std::max<std::uint32_t>(
+      MontageImageCount(params.degree) / std::max(params.task_scale, 1u), 4);
+  const std::uint64_t scale = std::max<std::uint64_t>(params.size_scale, 1);
+
+  const std::uint64_t input_size = units::MiB(2) / scale;
+  const std::uint64_t projected_size = units::MiB(4) / scale;
+  const std::uint64_t diff_size = units::MiB(2) / scale;
+  const std::uint64_t corrected_size = units::MiB(2) / scale;
+  const std::uint64_t table_size = units::KiB(256) / scale + 1;
+  const std::uint64_t corrections_size = units::MiB(1) / scale + 1;
+
+  const std::string base = "/montage" + std::to_string(params.degree);
+  wf.directories = {base,           base + "/raw",  base + "/proj",
+                    base + "/diff", base + "/corr", base + "/tables"};
+
+  auto input_path = [&](std::uint32_t i) {
+    return base + "/raw/img_" + Zero4(i) + ".fits";
+  };
+  auto projected_path = [&](std::uint32_t i) {
+    return base + "/proj/p_" + Zero4(i) + ".fits";
+  };
+  auto diff_path = [&](std::uint32_t i) {
+    return base + "/diff/d_" + Zero4(i) + ".fits";
+  };
+  auto corrected_path = [&](std::uint32_t i) {
+    return base + "/corr/c_" + Zero4(i) + ".fits";
+  };
+
+  // stage_in: the input images are copied into the runtime file system.
+  for (std::uint32_t i = 0; i < images; ++i) {
+    mtc::TaskSpec task;
+    task.name = "stage_in-" + Zero4(i);
+    task.stage = "stage_in";
+    task.outputs.push_back({input_path(i), input_size});
+    wf.tasks.push_back(std::move(task));
+  }
+
+  // mProjectPP: one task per image, CPU-bound.
+  for (std::uint32_t i = 0; i < images; ++i) {
+    mtc::TaskSpec task;
+    task.name = "mProjectPP-" + Zero4(i);
+    task.stage = "mProjectPP";
+    task.inputs.push_back(input_path(i));
+    task.outputs.push_back({projected_path(i), projected_size});
+    task.cpu_time = CpuTime(params.project_cpu_s, scale);
+    wf.tasks.push_back(std::move(task));
+  }
+
+  // mImgTbl: global aggregation over all projected images.
+  {
+    mtc::TaskSpec task;
+    task.name = "mImgTbl-0";
+    task.stage = "mImgTbl";
+    for (std::uint32_t i = 0; i < images; ++i) {
+      task.inputs.push_back(projected_path(i));
+    }
+    task.outputs.push_back({base + "/tables/images.tbl", table_size});
+    task.cpu_time = CpuTime(params.aggregate_cpu_s, scale);
+    wf.tasks.push_back(std::move(task));
+  }
+
+  // mDiffFit: one task per overlapping pair; a grid image overlaps its
+  // right, lower and lower-right neighbours, i.e. ~3 pairs per image. Each
+  // task reads TWO projected images — the access pattern AMFS Shell cannot
+  // fully serve locally.
+  const std::uint32_t columns = std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(std::max(1.0, std::sqrt(double(images)))), 1);
+  std::uint32_t diffs = 0;
+  for (std::uint32_t i = 0; i < images; ++i) {
+    const std::uint32_t col = i % columns;
+    const std::uint32_t neighbours[3] = {
+        i + 1,            // right
+        i + columns,      // below
+        i + columns + 1,  // diagonal
+    };
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      const std::uint32_t j = neighbours[k];
+      if (j >= images) continue;
+      if (k == 0 && col + 1 == columns) continue;           // row edge
+      if (k == 2 && col + 1 == columns) continue;           // diagonal edge
+      mtc::TaskSpec task;
+      task.name = "mDiffFit-" + Zero4(diffs);
+      task.stage = "mDiffFit";
+      task.inputs.push_back(projected_path(i));
+      task.inputs.push_back(projected_path(j));
+      task.outputs.push_back({diff_path(diffs), diff_size});
+      task.cpu_time = CpuTime(params.diff_cpu_s, scale);
+      wf.tasks.push_back(std::move(task));
+      ++diffs;
+    }
+  }
+
+  // mConcatFit: aggregates every fit result.
+  {
+    mtc::TaskSpec task;
+    task.name = "mConcatFit-0";
+    task.stage = "mConcatFit";
+    for (std::uint32_t i = 0; i < diffs; ++i) task.inputs.push_back(diff_path(i));
+    task.outputs.push_back({base + "/tables/fits.tbl", table_size});
+    task.cpu_time = CpuTime(params.aggregate_cpu_s, scale);
+    wf.tasks.push_back(std::move(task));
+  }
+
+  // mBgModel: computes the background corrections from the fit table.
+  {
+    mtc::TaskSpec task;
+    task.name = "mBgModel-0";
+    task.stage = "mBgModel";
+    task.inputs.push_back(base + "/tables/fits.tbl");
+    task.inputs.push_back(base + "/tables/images.tbl");
+    task.outputs.push_back({base + "/tables/corrections.tbl",
+                            corrections_size});
+    task.cpu_time = CpuTime(params.aggregate_cpu_s, scale);
+    wf.tasks.push_back(std::move(task));
+  }
+
+  // mBackground: per image, applies the corrections.
+  for (std::uint32_t i = 0; i < images; ++i) {
+    mtc::TaskSpec task;
+    task.name = "mBackground-" + Zero4(i);
+    task.stage = "mBackground";
+    task.inputs.push_back(projected_path(i));
+    task.inputs.push_back(base + "/tables/corrections.tbl");
+    task.outputs.push_back({corrected_path(i), corrected_size});
+    task.cpu_time = CpuTime(params.background_cpu_s, scale);
+    wf.tasks.push_back(std::move(task));
+  }
+
+  // mAdd: global aggregation into the final mosaic.
+  {
+    mtc::TaskSpec task;
+    task.name = "mAdd-0";
+    task.stage = "mAdd";
+    for (std::uint32_t i = 0; i < images; ++i) {
+      task.inputs.push_back(corrected_path(i));
+    }
+    task.outputs.push_back(
+        {base + "/mosaic.fits",
+         std::max<std::uint64_t>(images * (units::MiB(1) / scale), 1)});
+    task.cpu_time = CpuTime(params.aggregate_cpu_s, scale);
+    wf.tasks.push_back(std::move(task));
+  }
+
+  return wf;
+}
+
+}  // namespace memfs::workloads

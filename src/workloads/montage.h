@@ -1,0 +1,48 @@
+// Montage workflow generator (Fig. 1a, §4.2).
+//
+// Montage builds an astronomical mosaic from input images. The DAG shape,
+// per-stage file sizes and CPU/I-O character follow the paper:
+//   stage_in    — input images staged into the runtime FS (~2 MB each);
+//   mProjectPP  — per image: read 1 input (~2 MB), write ~4 MB. CPU-bound;
+//   mImgTbl     — aggregation: reads all projected image headers;
+//   mDiffFit    — per overlapping pair: read two 4 MB files, write 2 MB.
+//                 I/O-bound; reads *two* inputs, so AMFS Shell can only
+//                 guarantee locality for one of them;
+//   mConcatFit  — aggregation of all fit results;
+//   mBgModel    — computes background corrections (small table);
+//   mBackground — per image: read 4 MB + corrections, write 2 MB;
+//   mAdd        — global aggregation into the mosaic.
+//
+// The 6x6 / 12x12 / 16x16 instances of Table 2 differ in image count. Two
+// scaling knobs keep simulations tractable; both are reported by benches:
+//   size_scale — divides file sizes (DAG shape and counts untouched);
+//   task_scale — divides image count (stage ratios preserved).
+#pragma once
+
+#include <cstdint>
+
+#include "mtc/workflow.h"
+
+namespace memfs::workloads {
+
+struct MontageParams {
+  std::uint32_t degree = 6;       // 6, 12 or 16 (Table 2)
+  std::uint64_t size_scale = 1;   // divide all file sizes by this
+  std::uint32_t task_scale = 1;   // divide image count by this
+  // Per-stage CPU seconds at full scale (divided by size_scale, since
+  // compute tracks pixels): mProjectPP is CPU-bound; mDiffFit and
+  // mBackground are I/O-bound (their task time is dominated by reading two
+  // 4 MB files / writing 2 MB, §4.2).
+  double project_cpu_s = 12.0;
+  double diff_cpu_s = 0.15;
+  double background_cpu_s = 0.3;
+  double aggregate_cpu_s = 4.0;
+};
+
+// Number of input images of a degree-K mosaic (2488 for 6x6, Table 2's
+// counts scale with mosaic area).
+std::uint32_t MontageImageCount(std::uint32_t degree);
+
+mtc::Workflow BuildMontage(const MontageParams& params);
+
+}  // namespace memfs::workloads

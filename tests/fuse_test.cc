@@ -1,0 +1,125 @@
+// Tests for the FUSE mountpoint model: serialization, contention growth,
+// multi-mount scaling, and the disabled mode.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "memfs/fuse.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "test_util.h"
+
+namespace memfs::fs {
+namespace {
+
+using units::Micros;
+
+sim::Task HammerMount(sim::Simulation&, FuseLayer& fuse, net::NodeId node,
+                      std::uint32_t process, int requests,
+                      sim::WaitGroup& wg) {
+  for (int i = 0; i < requests; ++i) {
+    co_await fuse.Enter(node, process);
+  }
+  wg.Done();
+}
+
+sim::SimTime RunHammer(FuseConfig config, std::uint32_t procs, int requests) {
+  sim::Simulation sim;
+  FuseLayer fuse(sim, /*nodes=*/1, config);
+  sim::WaitGroup wg(sim);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    wg.Add();
+    HammerMount(sim, fuse, 0, p, requests, wg);
+  }
+  sim.Run();
+  EXPECT_EQ(fuse.requests_served(),
+            static_cast<std::uint64_t>(procs) * requests);
+  return sim.now();
+}
+
+TEST(FuseLayerTest, SingleRequestPaysOpCost) {
+  FuseConfig config;
+  config.op_cost = Micros(3);
+  EXPECT_EQ(RunHammer(config, 1, 1), Micros(3));
+}
+
+TEST(FuseLayerTest, UncontendedRequestsSerializeAtOpCost) {
+  FuseConfig config;
+  config.op_cost = Micros(3);
+  config.contention_factor = 0.0;
+  // One process, sequential: N * cost.
+  EXPECT_EQ(RunHammer(config, 1, 100), Micros(300));
+}
+
+TEST(FuseLayerTest, SingleMountSerializesProcesses) {
+  FuseConfig config;
+  config.op_cost = Micros(10);
+  config.contention_factor = 0.0;
+  config.mounts_per_node = 1;
+  // 4 processes x 10 requests through one lock = 400us total.
+  EXPECT_EQ(RunHammer(config, 4, 10), Micros(400));
+}
+
+TEST(FuseLayerTest, PerProcessMountsRunInParallel) {
+  FuseConfig config;
+  config.op_cost = Micros(10);
+  config.contention_factor = 0.0;
+  config.mounts_per_node = 4;
+  // 4 processes on 4 mounts: wall time = one process's serial time.
+  EXPECT_EQ(RunHammer(config, 4, 10), Micros(100));
+}
+
+TEST(FuseLayerTest, ContentionLengthensCriticalSection) {
+  FuseConfig base;
+  base.op_cost = Micros(10);
+  base.contention_factor = 0.0;
+  FuseConfig contended = base;
+  contended.contention_factor = 0.3;
+  // With waiters piling up on one mount, the contended configuration must
+  // be strictly slower — the NUMA spinlock effect of Fig. 10a.
+  const auto fair = RunHammer(base, 8, 20);
+  const auto slow = RunHammer(contended, 8, 20);
+  EXPECT_GT(slow, fair + fair / 2);
+}
+
+TEST(FuseLayerTest, ContentionVanishesWithPerProcessMounts) {
+  FuseConfig config;
+  config.op_cost = Micros(10);
+  config.contention_factor = 0.3;
+  config.mounts_per_node = 8;
+  // No two processes share a mount -> no waiters -> no penalty.
+  EXPECT_EQ(RunHammer(config, 8, 20), Micros(200));
+}
+
+TEST(FuseLayerTest, DisabledModeIsFree) {
+  FuseConfig config;
+  config.enabled = false;
+  EXPECT_EQ(RunHammer(config, 8, 50), 0u);
+}
+
+TEST(FuseLayerTest, ProcessesMapToMountsRoundRobin) {
+  FuseConfig config;
+  config.op_cost = Micros(10);
+  config.contention_factor = 0.0;
+  config.mounts_per_node = 2;
+  // 4 processes over 2 mounts: two pairs, each serialized -> 200us.
+  EXPECT_EQ(RunHammer(config, 4, 10), Micros(200));
+}
+
+TEST(FuseLayerTest, NodesAreIndependent) {
+  FuseConfig config;
+  config.op_cost = Micros(10);
+  config.contention_factor = 0.0;
+  sim::Simulation sim;
+  FuseLayer fuse(sim, /*nodes=*/4, config);
+  sim::WaitGroup wg(sim);
+  for (net::NodeId node = 0; node < 4; ++node) {
+    wg.Add();
+    HammerMount(sim, fuse, node, 0, 10, wg);
+  }
+  sim.Run();
+  // Different nodes never share a mount.
+  EXPECT_EQ(sim.now(), Micros(100));
+}
+
+}  // namespace
+}  // namespace memfs::fs

@@ -1,0 +1,211 @@
+// Unit + property tests for the hash functions and the key-to-server
+// distribution strategies.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "hash/distributor.h"
+#include "hash/hash.h"
+
+namespace memfs::hash {
+namespace {
+
+// --- Known-answer tests ---
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Canonical FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, Crc32cKnownVectors) {
+  // RFC 3720 / iSCSI test vector: 32 bytes of zero.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aau);
+  // "123456789" is the classic check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+}
+
+TEST(HashTest, Murmur3Deterministic) {
+  EXPECT_EQ(Murmur3_64("hello"), Murmur3_64("hello"));
+  EXPECT_NE(Murmur3_64("hello"), Murmur3_64("hellp"));
+  EXPECT_NE(Murmur3_64("hello", 1), Murmur3_64("hello", 2));
+}
+
+TEST(HashTest, JenkinsDeterministic) {
+  EXPECT_EQ(JenkinsLookup3("abcdefghijklm"), JenkinsLookup3("abcdefghijklm"));
+  EXPECT_NE(JenkinsLookup3("abcdefghijklm"), JenkinsLookup3("abcdefghijkln"));
+}
+
+TEST(HashTest, AllKindsHandleAllLengths) {
+  // Exercise every tail-length branch (lookup3 and murmur switch on
+  // length % block).
+  const std::string base = "0123456789abcdefghijklmnopqrstuvwxyz";
+  for (HashKind kind :
+       {HashKind::kFnv1a64, HashKind::kMurmur3_64, HashKind::kJenkinsLookup3,
+        HashKind::kCrc32c}) {
+    std::set<std::uint64_t> seen;
+    for (std::size_t len = 0; len <= base.size(); ++len) {
+      seen.insert(HashKey(kind, std::string_view(base).substr(0, len)));
+    }
+    // All prefixes distinct (no trivial collisions across lengths).
+    EXPECT_EQ(seen.size(), base.size() + 1) << ToString(kind);
+  }
+}
+
+// --- Distribution quality (property-style, parameterized over hash kinds) ---
+
+class HashKindTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashKindTest, StripeKeysSpreadUniformly) {
+  // The actual MemFS key population: "<path>#<stripe>".
+  const std::uint32_t servers = 64;
+  std::vector<std::uint64_t> load(servers, 0);
+  for (int file = 0; file < 200; ++file) {
+    for (int stripe = 0; stripe < 100; ++stripe) {
+      const std::string key = "/montage/proj/p_" + std::to_string(file) +
+                              ".fits#" + std::to_string(stripe);
+      ++load[HashKey(GetParam(), key) % servers];
+    }
+  }
+  RunningStats stats;
+  for (auto l : load) stats.Add(static_cast<double>(l));
+  // Coefficient of variation below 10% across 64 servers.
+  EXPECT_LT(stats.cv(), 0.10) << ToString(GetParam());
+  for (auto l : load) EXPECT_GT(l, 0u);
+}
+
+TEST_P(HashKindTest, AvalancheOnLastCharacter) {
+  // Keys differing in one character should map to many different servers.
+  const std::uint32_t servers = 16;
+  std::set<std::uint32_t> hit;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    std::string key = "/data/file_x";
+    key.back() = c;
+    hit.insert(static_cast<std::uint32_t>(HashKey(GetParam(), key) % servers));
+  }
+  // CRC32C is linear in its input, so single-character flips reach fewer
+  // residues than the mixing hashes; 8 of 16 is still acceptable spread.
+  EXPECT_GE(hit.size(), 8u) << ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashKindTest,
+                         ::testing::Values(HashKind::kFnv1a64,
+                                           HashKind::kMurmur3_64,
+                                           HashKind::kJenkinsLookup3,
+                                           HashKind::kCrc32c),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+// --- Modulo distributor ---
+
+TEST(ModuloDistributorTest, InRangeAndDeterministic) {
+  ModuloDistributor dist(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const auto s = dist.ServerFor(key);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, dist.ServerFor(key));
+  }
+}
+
+TEST(ModuloDistributorTest, SingleServerGetsEverything) {
+  ModuloDistributor dist(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dist.ServerFor("k" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(ModuloDistributorTest, BalancedOverStripeKeys) {
+  ModuloDistributor dist(32);
+  std::vector<int> load(32, 0);
+  for (int f = 0; f < 500; ++f) {
+    for (int s = 0; s < 8; ++s) {
+      ++load[dist.ServerFor("/f" + std::to_string(f) + "#" +
+                            std::to_string(s))];
+    }
+  }
+  RunningStats stats;
+  for (int l : load) stats.Add(l);
+  EXPECT_LT(stats.cv(), 0.10);
+}
+
+// --- Ketama (consistent hashing) ---
+
+TEST(KetamaDistributorTest, InRangeAndDeterministic) {
+  KetamaDistributor dist(9, 160);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const auto s = dist.ServerFor(key);
+    EXPECT_LT(s, 9u);
+    EXPECT_EQ(s, dist.ServerFor(key));
+  }
+}
+
+TEST(KetamaDistributorTest, ReasonablyBalanced) {
+  KetamaDistributor dist(16, 160);
+  std::vector<int> load(16, 0);
+  for (int i = 0; i < 32000; ++i) {
+    ++load[dist.ServerFor("obj-" + std::to_string(i))];
+  }
+  RunningStats stats;
+  for (int l : load) stats.Add(l);
+  // Virtual nodes keep imbalance moderate (not as tight as modulo).
+  EXPECT_LT(stats.cv(), 0.35);
+  for (int l : load) EXPECT_GT(l, 0);
+}
+
+TEST(KetamaDistributorTest, MinimalRemappingOnGrowth) {
+  // The property the paper cites consistent hashing for: adding a server
+  // moves only ~1/(N+1) of the keys, vs ~N/(N+1) for modulo.
+  const int keys = 20000;
+  KetamaDistributor before(10, 160);
+  KetamaDistributor after(11, 160);
+  ModuloDistributor mod_before(10);
+  ModuloDistributor mod_after(11);
+
+  int ketama_moved = 0;
+  int modulo_moved = 0;
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = "/wf/file_" + std::to_string(i) + "#0";
+    ketama_moved += before.ServerFor(key) != after.ServerFor(key);
+    modulo_moved += mod_before.ServerFor(key) != mod_after.ServerFor(key);
+  }
+  const double ketama_frac = double(ketama_moved) / keys;
+  const double modulo_frac = double(modulo_moved) / keys;
+  EXPECT_LT(ketama_frac, 0.20);   // ~1/11 expected
+  EXPECT_GT(modulo_frac, 0.80);   // nearly everything moves
+}
+
+TEST(KetamaDistributorTest, RemappedKeysGoOnlyToNewServer) {
+  KetamaDistributor before(8, 160);
+  KetamaDistributor after(9, 160);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const auto s_before = before.ServerFor(key);
+    const auto s_after = after.ServerFor(key);
+    if (s_before != s_after) {
+      EXPECT_EQ(s_after, 8u) << "key moved between old servers";
+    }
+  }
+}
+
+TEST(DistributorFactoryTest, MakersProduceWorkingInstances) {
+  auto modulo = MakeModulo(5);
+  auto ketama = MakeKetama(5);
+  EXPECT_EQ(modulo->name(), "modulo");
+  EXPECT_EQ(ketama->name(), "ketama");
+  EXPECT_EQ(modulo->server_count(), 5u);
+  EXPECT_EQ(ketama->server_count(), 5u);
+  EXPECT_LT(modulo->ServerFor("x"), 5u);
+  EXPECT_LT(ketama->ServerFor("x"), 5u);
+}
+
+}  // namespace
+}  // namespace memfs::hash

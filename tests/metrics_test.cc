@@ -1,0 +1,217 @@
+// Tests for the latency instrumentation: histogram math, registry, and
+// end-to-end recording through the MemFS data path; plus the Flush API.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/units.h"
+#include "test_util.h"
+#include "workloads/envelope.h"
+#include "workloads/testbed.h"
+
+namespace memfs {
+namespace {
+
+using memfs::testing::Await;
+using units::KiB;
+using units::MiB;
+
+// --- LatencyHistogram ---
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min_nanos(), 1000u);
+  EXPECT_EQ(h.max_nanos(), 1000u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 1000.0);
+  // With one sample every percentile is (clamped to) that sample.
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(0.99), 1000.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; v += 7) h.Record(v);
+  double last = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double p = h.PercentileNanos(q);
+    EXPECT_GE(p, last) << q;
+    last = p;
+  }
+  EXPECT_LE(last, static_cast<double>(h.max_nanos()));
+}
+
+TEST(LatencyHistogramTest, MedianWithinBucketResolution) {
+  LatencyHistogram h;
+  // 1000 samples uniform in [1000, 2000): true median ~1500; sqrt(2)
+  // buckets bound the error by one bucket ratio.
+  for (int i = 0; i < 1000; ++i) h.Record(1000 + i);
+  const double median = h.PercentileNanos(0.5);
+  EXPECT_GE(median, 1000.0);
+  EXPECT_LE(median, 2000.0);
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesClampToLastBucket) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(~0ull);  // far beyond the last bucket bound
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_nanos(), ~0ull);
+  EXPECT_GT(h.PercentileNanos(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsStrictlyIncrease) {
+  for (std::size_t b = 1; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_GT(LatencyHistogram::BucketUpperBound(b),
+              LatencyHistogram::BucketUpperBound(b - 1));
+  }
+  // The table must reach well past 10 seconds.
+  EXPECT_GT(LatencyHistogram::BucketUpperBound(LatencyHistogram::kBuckets - 1),
+            units::Seconds(10));
+}
+
+TEST(LatencyHistogramTest, MergeCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.Record(100);
+  for (int i = 0; i < 100; ++i) b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min_nanos(), 100u);
+  EXPECT_EQ(a.max_nanos(), 10000u);
+  EXPECT_NEAR(a.MeanNanos(), 5050.0, 1.0);
+  EXPECT_LT(a.PercentileNanos(0.4), 200.0);
+  EXPECT_GT(a.PercentileNanos(0.9), 5000.0);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, HistogramsPersistByName) {
+  MetricsRegistry registry;
+  registry.Histogram("op.a").Record(5);
+  registry.Histogram("op.a").Record(7);
+  registry.Histogram("op.b").Record(9);
+  EXPECT_EQ(registry.Histogram("op.a").count(), 2u);
+  EXPECT_EQ(registry.Histogram("op.b").count(), 1u);
+  EXPECT_EQ(registry.all().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ReportPrintsAllOperations) {
+  MetricsRegistry registry;
+  registry.Histogram("kv.get").Record(units::Micros(120));
+  registry.Histogram("vfs.read").Record(units::Micros(250));
+  std::ostringstream os;
+  registry.Report(os);
+  EXPECT_NE(os.str().find("kv.get"), std::string::npos);
+  EXPECT_NE(os.str().find("vfs.read"), std::string::npos);
+}
+
+// --- End-to-end recording through the stack ---
+
+TEST(MetricsIntegrationTest, MemFsAndKvOpsRecorded) {
+  MetricsRegistry registry;
+  workloads::TestbedConfig config;
+  config.nodes = 4;
+  config.metrics = &registry;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+
+  workloads::EnvelopeParams params;
+  params.nodes = 4;
+  params.file_size = MiB(1);
+  params.files_per_proc = 2;
+  workloads::EnvelopeBench bench(bed.simulation(), bed.vfs(), params,
+                                 nullptr);
+  (void)bench.RunWrite();
+  (void)bench.RunRead11();
+
+  EXPECT_EQ(registry.Histogram("vfs.create").count(), 8u);
+  EXPECT_EQ(registry.Histogram("vfs.open").count(), 8u);
+  EXPECT_GT(registry.Histogram("vfs.write").count(), 0u);
+  EXPECT_GT(registry.Histogram("vfs.read").count(), 0u);
+  EXPECT_GT(registry.Histogram("kv.set").count(), 0u);
+  EXPECT_GT(registry.Histogram("kv.get").count(), 0u);
+  // VFS reads include stripe fetches, so their latency dominates the raw
+  // kv GET latency.
+  EXPECT_GT(registry.Histogram("vfs.read").PercentileNanos(0.99),
+            registry.Histogram("kv.get").PercentileNanos(0.5));
+}
+
+// --- Flush (§3.2.2) ---
+
+TEST(FlushTest, FlushDrainsInFlightStripesAndKeepsHandleWritable) {
+  workloads::TestbedConfig config;
+  config.nodes = 4;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  auto& sim = bed.simulation();
+  fs::Vfs& vfs = bed.vfs();
+
+  auto created = Await(sim, vfs.Create({0, 0}, "/flushy"));
+  ASSERT_TRUE(created.ok());
+  const Bytes part1 = Bytes::Synthetic(KiB(512) * 3, 1);
+  ASSERT_TRUE(Await(sim, vfs.Write({0, 0}, created.value(), part1)).ok());
+  ASSERT_TRUE(Await(sim, vfs.Flush({0, 0}, created.value())).ok());
+  // After flush, all full stripes are on the servers.
+  EXPECT_GE(bed.TotalMemoryUsed(), KiB(512) * 3);
+
+  // The handle is still writable after flush.
+  const Bytes part2 = Bytes::Synthetic(KiB(512) * 3, 1).Slice(0, 0);
+  ASSERT_TRUE(
+      Await(sim, vfs.Write({0, 0}, created.value(),
+                           Bytes::Synthetic(KiB(100), 2)))
+          .ok());
+  ASSERT_TRUE(Await(sim, vfs.Close({0, 0}, created.value())).ok());
+
+  auto info = Await(sim, vfs.Stat({1, 0}, "/flushy"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, KiB(512) * 3 + KiB(100));
+}
+
+TEST(FlushTest, FlushOnReadHandleIsNoOp) {
+  workloads::TestbedConfig config;
+  config.nodes = 2;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  auto& sim = bed.simulation();
+  fs::Vfs& vfs = bed.vfs();
+
+  auto created = Await(sim, vfs.Create({0, 0}, "/ro"));
+  ASSERT_TRUE(created.ok());
+  (void)Await(sim, vfs.Write({0, 0}, created.value(), Bytes::Copy("x")));
+  ASSERT_TRUE(Await(sim, vfs.Close({0, 0}, created.value())).ok());
+
+  auto opened = Await(sim, vfs.Open({1, 0}, "/ro"));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(Await(sim, vfs.Flush({1, 0}, opened.value())).ok());
+  (void)Await(sim, vfs.Close({1, 0}, opened.value()));
+}
+
+TEST(FlushTest, FlushBadHandleRejected) {
+  workloads::TestbedConfig config;
+  config.nodes = 2;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  EXPECT_EQ(Await(bed.simulation(), bed.vfs().Flush({0, 0}, 12345)).code(),
+            ErrorCode::kBadHandle);
+}
+
+TEST(FlushTest, AmfsFlushIsAccepted) {
+  workloads::TestbedConfig config;
+  config.nodes = 2;
+  workloads::Testbed bed(workloads::FsKind::kAmfs, config);
+  auto& sim = bed.simulation();
+  fs::Vfs& vfs = bed.vfs();
+  auto created = Await(sim, vfs.Create({0, 0}, "/af"));
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(Await(sim, vfs.Flush({0, 0}, created.value())).ok());
+  (void)Await(sim, vfs.Close({0, 0}, created.value()));
+}
+
+}  // namespace
+}  // namespace memfs

@@ -1,0 +1,354 @@
+// Tests for the workflow engine: dependency resolution, schedulers, stage
+// accounting, failure propagation; and for the workload generators.
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "amfs/amfs.h"
+#include "common/units.h"
+#include "kvstore/kv_cluster.h"
+#include "memfs/memfs.h"
+#include "mtc/runner.h"
+#include "mtc/scheduler.h"
+#include "mtc/workflow.h"
+#include "net/fluid_network.h"
+#include "workloads/blast.h"
+#include "workloads/montage.h"
+
+namespace memfs::mtc {
+namespace {
+
+using units::KiB;
+using units::MiB;
+
+// Builds a diamond workflow: stage_in -> two parallel consumers -> join.
+Workflow Diamond() {
+  Workflow wf;
+  wf.name = "diamond";
+  wf.directories = {"/wf"};
+  wf.tasks.push_back({"in", "stage_in", {}, {{"/wf/src", KiB(700)}}, 0});
+  wf.tasks.push_back({"left", "fan", {"/wf/src"}, {{"/wf/l", KiB(300)}},
+                      units::Millis(10)});
+  wf.tasks.push_back({"right", "fan", {"/wf/src"}, {{"/wf/r", KiB(300)}},
+                      units::Millis(10)});
+  wf.tasks.push_back(
+      {"join", "join", {"/wf/l", "/wf/r"}, {{"/wf/out", KiB(100)}}, 0});
+  return wf;
+}
+
+struct MemFsCluster {
+  explicit MemFsCluster(std::uint32_t nodes)
+      : network(sim, net::Das4Ipoib(nodes)) {
+    std::vector<net::NodeId> ids;
+    for (std::uint32_t n = 0; n < nodes; ++n) ids.push_back(n);
+    storage = std::make_unique<kv::KvCluster>(sim, network, ids);
+    memfs = std::make_unique<fs::MemFs>(sim, network, *storage,
+                                        fs::MemFsConfig{});
+  }
+  sim::Simulation sim;
+  net::FairShareNetwork network;
+  std::unique_ptr<kv::KvCluster> storage;
+  std::unique_ptr<fs::MemFs> memfs;
+};
+
+TEST(WorkflowTest, ProducersIndex) {
+  const Workflow wf = Diamond();
+  const auto producers = wf.Producers();
+  EXPECT_EQ(producers.at("/wf/src"), 0u);
+  EXPECT_EQ(producers.at("/wf/out"), 3u);
+  EXPECT_EQ(wf.TotalOutputBytes(), KiB(700) + KiB(300) * 2 + KiB(100));
+}
+
+TEST(RunnerTest, DiamondRunsInDependencyOrder) {
+  MemFsCluster cluster(2);
+  UniformScheduler scheduler;
+  Runner runner(cluster.sim, *cluster.memfs, scheduler,
+                {.nodes = 2, .cores_per_node = 2});
+  const auto result = runner.Run(Diamond());
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_EQ(result.stages[0].stage, "stage_in");
+  EXPECT_EQ(result.stages[1].stage, "fan");
+  EXPECT_EQ(result.stages[2].stage, "join");
+  EXPECT_EQ(result.stages[1].tasks, 2u);
+  // The join starts only after both fans finished.
+  EXPECT_GE(result.stages[2].first_start, result.stages[1].last_end);
+  EXPECT_EQ(result.bytes_written, KiB(700) + KiB(600) + KiB(100));
+  EXPECT_EQ(result.bytes_read, KiB(700) * 2 + KiB(600));
+}
+
+TEST(RunnerTest, ReadVerificationCatchesCorruption) {
+  // A workflow whose input has no producer and does not exist fails loudly.
+  MemFsCluster cluster(2);
+  UniformScheduler scheduler;
+  Runner runner(cluster.sim, *cluster.memfs, scheduler,
+                {.nodes = 2, .cores_per_node = 1});
+  Workflow wf;
+  wf.name = "broken";
+  wf.tasks.push_back({"t", "s", {"/missing"}, {}, 0});
+  const auto result = runner.Run(wf);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.failed_task, "t");
+}
+
+TEST(RunnerTest, StalledWorkflowReported) {
+  MemFsCluster cluster(1);
+  UniformScheduler scheduler;
+  Runner runner(cluster.sim, *cluster.memfs, scheduler,
+                {.nodes = 1, .cores_per_node = 1});
+  // Two tasks that consume each other's outputs: a dependency cycle.
+  Workflow wf;
+  wf.name = "cycle";
+  wf.tasks.push_back({"a", "s", {"/x"}, {{"/y", 10}}, 0});
+  wf.tasks.push_back({"b", "s", {"/y"}, {{"/x", 10}}, 0});
+  const auto result = runner.Run(wf);
+  EXPECT_FALSE(result.status.ok());
+}
+
+TEST(RunnerTest, MoreTasksThanCores) {
+  MemFsCluster cluster(2);
+  UniformScheduler scheduler;
+  Runner runner(cluster.sim, *cluster.memfs, scheduler,
+                {.nodes = 2, .cores_per_node = 2});
+  Workflow wf;
+  wf.name = "wide";
+  wf.directories = {"/w"};
+  for (int i = 0; i < 20; ++i) {
+    wf.tasks.push_back({"t" + std::to_string(i), "wide", {},
+                        {{"/w/f" + std::to_string(i), KiB(64)}},
+                        units::Millis(50)});
+  }
+  const auto result = runner.Run(wf);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  // 20 tasks, 4 cores, 50 ms each -> at least 5 waves.
+  EXPECT_GE(result.finished - result.started, units::Millis(250));
+}
+
+TEST(RunnerTest, VerticalScalingReducesMakespan) {
+  auto run_with_cores = [](std::uint32_t cores) {
+    MemFsCluster cluster(4);
+    UniformScheduler scheduler;
+    Runner runner(cluster.sim, *cluster.memfs, scheduler,
+                  {.nodes = 4, .cores_per_node = cores});
+    Workflow wf;
+    wf.name = "scale";
+    wf.directories = {"/s"};
+    for (int i = 0; i < 32; ++i) {
+      wf.tasks.push_back({"t" + std::to_string(i), "cpu", {},
+                          {{"/s/f" + std::to_string(i), KiB(16)}},
+                          units::Millis(100)});
+    }
+    return runner.Run(wf).MakespanSeconds();
+  };
+  EXPECT_GT(run_with_cores(1), run_with_cores(4) * 2);
+}
+
+// --- Schedulers ---
+
+TEST(UniformSchedulerTest, RoundRobinOverFreeNodes) {
+  UniformScheduler scheduler;
+  TaskSpec task;
+  std::vector<std::uint32_t> free = {1, 1, 1};
+  EXPECT_EQ(scheduler.Place(task, free), 0u);
+  EXPECT_EQ(scheduler.Place(task, free), 1u);
+  EXPECT_EQ(scheduler.Place(task, free), 2u);
+  EXPECT_EQ(scheduler.Place(task, free), 0u);
+}
+
+TEST(UniformSchedulerTest, SkipsBusyNodes) {
+  UniformScheduler scheduler;
+  TaskSpec task;
+  std::vector<std::uint32_t> free = {0, 1, 0};
+  EXPECT_EQ(scheduler.Place(task, free), 1u);
+  free = {0, 0, 0};
+  EXPECT_EQ(scheduler.Place(task, free), std::nullopt);
+}
+
+class LocalitySchedulerTest : public ::testing::Test {
+ protected:
+  LocalitySchedulerTest()
+      : network_(sim_, net::Das4Ipoib(4)), amfs_(sim_, network_, {}) {}
+
+  void StoreFile(net::NodeId node, const std::string& path,
+                 std::uint64_t size) {
+    bool done = false;
+    Status status;
+    [](amfs::Amfs& fs, net::NodeId n, std::string p, std::uint64_t s,
+       Status& out, bool& flag) -> sim::Task {
+      fs::VfsContext ctx{n, 0};
+      auto created = co_await fs.Create(ctx, p);
+      if (created.ok()) {
+        (void)co_await fs.Write(ctx, created.value(), Bytes::Synthetic(s, 1));
+        out = co_await fs.Close(ctx, created.value());
+      } else {
+        out = created.status();
+      }
+      flag = true;
+    }(amfs_, node, path, size, status, done);
+    sim_.Run();
+    ASSERT_TRUE(done && status.ok());
+  }
+
+  sim::Simulation sim_;
+  net::FairShareNetwork network_;
+  amfs::Amfs amfs_;
+};
+
+TEST_F(LocalitySchedulerTest, FollowsFirstInput) {
+  StoreFile(2, "/data", KiB(10));
+  LocalityScheduler scheduler(amfs_);
+  TaskSpec task;
+  task.name = "t";
+  task.inputs = {"/data"};
+  std::vector<std::uint32_t> free = {1, 1, 1, 1};
+  EXPECT_EQ(scheduler.Place(task, free), 2u);
+}
+
+TEST_F(LocalitySchedulerTest, DefersWhenPreferredBusy) {
+  StoreFile(1, "/busy", KiB(10));
+  LocalityScheduler scheduler(amfs_);
+  TaskSpec task;
+  task.name = "t";
+  task.inputs = {"/busy"};
+  std::vector<std::uint32_t> free = {1, 0, 1, 1};
+  EXPECT_EQ(scheduler.Place(task, free), std::nullopt);
+}
+
+TEST_F(LocalitySchedulerTest, PatienceEventuallyRunsAnywhere) {
+  StoreFile(1, "/starve", KiB(10));
+  LocalityScheduler scheduler(amfs_);
+  scheduler.set_patience(3);
+  TaskSpec task;
+  task.name = "t";
+  task.inputs = {"/starve"};
+  std::vector<std::uint32_t> free = {1, 0, 1, 1};
+  EXPECT_EQ(scheduler.Place(task, free), std::nullopt);
+  EXPECT_EQ(scheduler.Place(task, free), std::nullopt);
+  EXPECT_EQ(scheduler.Place(task, free), std::nullopt);
+  EXPECT_TRUE(scheduler.Place(task, free).has_value());
+}
+
+TEST_F(LocalitySchedulerTest, AggregationGoesToDataHeavyNode) {
+  StoreFile(3, "/agg0", KiB(10));
+  StoreFile(3, "/agg1", KiB(10));
+  StoreFile(0, "/agg2", KiB(10));
+  LocalityScheduler scheduler(amfs_);
+  TaskSpec task;
+  task.name = "agg";
+  task.inputs = {"/agg0", "/agg1", "/agg2"};
+  std::vector<std::uint32_t> free = {1, 1, 1, 1};
+  EXPECT_EQ(scheduler.Place(task, free), 3u);
+}
+
+TEST_F(LocalitySchedulerTest, NoInputTasksRoundRobin) {
+  LocalityScheduler scheduler(amfs_);
+  TaskSpec task;
+  task.name = "src";
+  std::vector<std::uint32_t> free = {1, 1, 1, 1};
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 4; ++i) seen.insert(*scheduler.Place(task, free));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+// --- Workload generators ---
+
+TEST(MontageTest, StructureMatchesPaper) {
+  workloads::MontageParams params;
+  params.degree = 6;
+  params.task_scale = 64;  // keep the test small
+  const Workflow wf = workloads::BuildMontage(params);
+
+  std::unordered_map<std::string, int> stage_counts;
+  for (const auto& task : wf.tasks) ++stage_counts[task.stage];
+
+  const int images = stage_counts["stage_in"];
+  EXPECT_EQ(stage_counts["mProjectPP"], images);
+  EXPECT_EQ(stage_counts["mBackground"], images);
+  EXPECT_GT(stage_counts["mDiffFit"], images);      // ~3 pairs per image
+  EXPECT_LE(stage_counts["mDiffFit"], images * 3);
+  EXPECT_EQ(stage_counts["mImgTbl"], 1);
+  EXPECT_EQ(stage_counts["mConcatFit"], 1);
+  EXPECT_EQ(stage_counts["mBgModel"], 1);
+  EXPECT_EQ(stage_counts["mAdd"], 1);
+
+  // Every mDiffFit task reads exactly two projected files.
+  for (const auto& task : wf.tasks) {
+    if (task.stage == "mDiffFit") {
+      EXPECT_EQ(task.inputs.size(), 2u);
+    }
+  }
+}
+
+TEST(MontageTest, NoMissingProducers) {
+  workloads::MontageParams params;
+  params.task_scale = 128;
+  const Workflow wf = workloads::BuildMontage(params);
+  const auto producers = wf.Producers();
+  for (const auto& task : wf.tasks) {
+    for (const auto& input : task.inputs) {
+      EXPECT_TRUE(producers.contains(input)) << input;
+    }
+  }
+}
+
+TEST(MontageTest, ScaleGrowsWithDegree) {
+  EXPECT_EQ(workloads::MontageImageCount(6), 2488u);
+  EXPECT_EQ(workloads::MontageImageCount(12), 2488u * 4);
+  EXPECT_EQ(workloads::MontageImageCount(16), 2488u * 256 / 36);
+  workloads::MontageParams small;
+  small.degree = 6;
+  small.task_scale = 32;
+  workloads::MontageParams large;
+  large.degree = 12;
+  large.task_scale = 32;
+  EXPECT_GT(workloads::BuildMontage(large).TotalOutputBytes(),
+            workloads::BuildMontage(small).TotalOutputBytes() * 3);
+}
+
+TEST(BlastTest, StructureMatchesPaper) {
+  workloads::BlastParams params;
+  params.fragments = 32;
+  params.queries_per_fragment = 4;
+  const Workflow wf = workloads::BuildBlast(params);
+
+  std::unordered_map<std::string, int> stage_counts;
+  for (const auto& task : wf.tasks) ++stage_counts[task.stage];
+  EXPECT_EQ(stage_counts["formatdb"], 32);
+  EXPECT_EQ(stage_counts["blastall"], 128);
+  EXPECT_EQ(stage_counts["merge"], 16);
+
+  for (const auto& task : wf.tasks) {
+    if (task.stage == "blastall") {
+      EXPECT_EQ(task.inputs.size(), 2u);
+    }
+  }
+  const auto producers = wf.Producers();
+  for (const auto& task : wf.tasks) {
+    for (const auto& input : task.inputs) {
+      EXPECT_TRUE(producers.contains(input)) << input;
+    }
+  }
+}
+
+TEST(BlastTest, FragmentSizeTracksDatabaseSplit) {
+  workloads::BlastParams das4;
+  das4.fragments = 512;
+  workloads::BlastParams ec2;
+  ec2.fragments = 1024;
+  // Same database, double the fragments -> half the fragment size; the total
+  // runtime data stays comparable (the paper's EC2-vs-DAS4 argument).
+  const auto das4_bytes = workloads::BuildBlast(das4).TotalOutputBytes();
+  const auto ec2_bytes = workloads::BuildBlast(ec2).TotalOutputBytes();
+  EXPECT_NEAR(static_cast<double>(das4_bytes) /
+                  static_cast<double>(ec2_bytes),
+              1.0, 0.25);
+}
+
+TEST(FileSeedTest, StableAndDistinct) {
+  EXPECT_EQ(FileSeed("/a"), FileSeed("/a"));
+  EXPECT_NE(FileSeed("/a"), FileSeed("/b"));
+}
+
+}  // namespace
+}  // namespace memfs::mtc

@@ -1,0 +1,255 @@
+// Unit tests for the discrete-event core: event ordering, coroutine tasks,
+// futures, semaphores, wait groups, determinism.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/future.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace memfs::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulationTest, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, NestedSchedulingAdvancesTime) {
+  Simulation sim;
+  SimTime inner_time = 0;
+  sim.Schedule(5, [&] { sim.Schedule(7, [&] { inner_time = sim.now(); }); });
+  sim.Run();
+  EXPECT_EQ(inner_time, 12u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+// --- Coroutine tasks ---
+
+Task SetFlagAfter(Simulation& sim, SimTime delay, bool& flag) {
+  co_await sim.Delay(delay);
+  flag = true;
+}
+
+TEST(TaskTest, DelayResumesAtRightTime) {
+  Simulation sim;
+  bool flag = false;
+  SetFlagAfter(sim, 250, flag);
+  EXPECT_FALSE(flag);  // suspended at the delay
+  sim.Run();
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(sim.now(), 250u);
+}
+
+TEST(TaskTest, ZeroDelayDoesNotSuspend) {
+  Simulation sim;
+  bool flag = false;
+  SetFlagAfter(sim, 0, flag);
+  EXPECT_TRUE(flag);  // ran to completion eagerly
+}
+
+TEST(TaskTest, YieldDefersToSameInstant) {
+  Simulation sim;
+  std::vector<int> order;
+  [](Simulation& s, std::vector<int>& log) -> Task {
+    log.push_back(1);
+    co_await s.Yield();
+    log.push_back(3);
+  }(sim, order);
+  order.push_back(2);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+// --- Future / Promise ---
+
+TEST(FutureTest, AwaitAlreadyFulfilled) {
+  Simulation sim;
+  Promise<int> promise(sim);
+  promise.Set(9);
+  int got = 0;
+  [](Future<int> f, int& out) -> Task { out = co_await f; }(
+      promise.GetFuture(), got);
+  sim.Run();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(FutureTest, MultipleWaitersAllResume) {
+  Simulation sim;
+  Promise<int> promise(sim);
+  auto future = promise.GetFuture();
+  int sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    [](Future<int> f, int& total) -> Task { total += co_await f; }(future,
+                                                                   sum);
+  }
+  sim.Schedule(10, [&] { promise.Set(5); });
+  sim.Run();
+  EXPECT_EQ(sum, 20);
+}
+
+TEST(FutureTest, ValuePeekAfterRun) {
+  Simulation sim;
+  Promise<int> promise(sim);
+  auto future = promise.GetFuture();
+  EXPECT_FALSE(future.ready());
+  sim.Schedule(3, [&] { promise.Set(1); });
+  sim.Run();
+  ASSERT_TRUE(future.ready());
+  EXPECT_EQ(future.value(), 1);
+}
+
+// --- Semaphore ---
+
+Task AcquireHoldRelease(Simulation& sim, Semaphore& sem, SimTime hold,
+                        std::vector<SimTime>& done_times) {
+  co_await sem.Acquire();
+  co_await sim.Delay(hold);
+  sem.Release();
+  done_times.push_back(sim.now());
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 6; ++i) AcquireHoldRelease(sim, sem, 100, done);
+  sim.Run();
+  // 6 tasks, width 2, 100ns each -> waves at 100, 200, 300.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100, 200, 200, 300, 300}));
+}
+
+TEST(SemaphoreTest, FifoOrdering) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    [](Simulation& s, Semaphore& m, int id, std::vector<int>& log) -> Task {
+      co_await m.Acquire();
+      co_await s.Delay(10);
+      log.push_back(id);
+      m.Release();
+    }(sim, sem, i, order);
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_TRUE(!sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(SemaphoreTest, WaitingCount) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  std::vector<SimTime> done;
+  AcquireHoldRelease(sim, sem, 50, done);  // holds the permit
+  AcquireHoldRelease(sim, sem, 50, done);
+  AcquireHoldRelease(sim, sem, 50, done);
+  EXPECT_EQ(sem.waiting(), 2u);
+  sim.Run();
+  EXPECT_EQ(sem.waiting(), 0u);
+}
+
+// --- WaitGroup ---
+
+TEST(WaitGroupTest, WaitsForAll) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  bool all_done = false;
+  for (int i = 1; i <= 3; ++i) {
+    wg.Add();
+    [](Simulation& s, WaitGroup& group, SimTime t) -> Task {
+      co_await s.Delay(t);
+      group.Done();
+    }(sim, wg, static_cast<SimTime>(i * 100));
+  }
+  [](WaitGroup& group, bool& flag) -> Task {
+    co_await group.Wait();
+    flag = true;
+  }(wg, all_done);
+  sim.RunUntil(299);
+  EXPECT_FALSE(all_done);
+  sim.Run();
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(WaitGroupTest, WaitOnEmptyGroupReturnsImmediately) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  bool done = false;
+  [](WaitGroup& group, bool& flag) -> Task {
+    co_await group.Wait();
+    flag = true;
+  }(wg, done);
+  EXPECT_TRUE(done);
+}
+
+// --- Determinism ---
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTraces) {
+  auto run = [] {
+    Simulation sim;
+    Semaphore sem(sim, 3);
+    std::vector<SimTime> done;
+    for (int i = 0; i < 20; ++i) {
+      AcquireHoldRelease(sim, sem, 17 + (i % 5) * 13, done);
+    }
+    sim.Run();
+    return std::pair{done, sim.events_processed()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace memfs::sim

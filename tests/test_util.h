@@ -1,0 +1,20 @@
+// Shared helpers for driving simulated asynchronous APIs from gtest.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sim/future.h"
+#include "sim/simulation.h"
+
+namespace memfs::testing {
+
+// Runs the simulation until the future resolves (which, with no other live
+// processes, means running the queue dry) and returns the value.
+template <typename T>
+T Await(sim::Simulation& sim, sim::Future<T> future) {
+  sim.Run();
+  EXPECT_TRUE(future.ready()) << "future never resolved (deadlock?)";
+  return future.value();
+}
+
+}  // namespace memfs::testing

@@ -1,0 +1,235 @@
+// Tests for the workload layer: Testbed construction across all presets,
+// the envelope engine's accounting rules, staging/seeding interactions, and
+// generator parameter edge cases.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "workloads/blast.h"
+#include "workloads/envelope.h"
+#include "workloads/montage.h"
+#include "workloads/testbed.h"
+
+namespace memfs::workloads {
+namespace {
+
+using units::KiB;
+using units::MiB;
+
+// --- Testbed presets ---
+
+class TestbedMatrixTest
+    : public ::testing::TestWithParam<std::tuple<FsKind, Fabric>> {};
+
+TEST_P(TestbedMatrixTest, ConstructsAndRunsEnvelopeWrite) {
+  const auto [kind, fabric] = GetParam();
+  TestbedConfig config;
+  config.nodes = 4;
+  config.fabric = fabric;
+  Testbed bed(kind, config);
+  EXPECT_EQ(bed.kind(), kind);
+  EXPECT_EQ(&bed.vfs(), kind == FsKind::kAmfs
+                            ? static_cast<fs::Vfs*>(bed.amfs())
+                            : static_cast<fs::Vfs*>(bed.memfs()));
+
+  EnvelopeParams params;
+  params.nodes = 4;
+  params.file_size = KiB(256);
+  params.files_per_proc = 2;
+  EnvelopeBench bench(bed.simulation(), bed.vfs(), params, bed.amfs());
+  const auto write = bench.RunWrite();
+  EXPECT_EQ(write.bytes, KiB(256) * 8);
+  EXPECT_GT(write.BandwidthMBps(), 0.0);
+  EXPECT_GT(bed.TotalMemoryUsed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, TestbedMatrixTest,
+    ::testing::Combine(::testing::Values(FsKind::kMemFs, FsKind::kAmfs,
+                                         FsKind::kDiskPfs),
+                       ::testing::Values(Fabric::kDas4Ipoib, Fabric::kDas4GbE,
+                                         Fabric::kEc2TenGbE, Fabric::kRdma)),
+    [](const auto& info) {
+      std::string name = std::string(ToString(std::get<0>(info.param))) +
+                         "_" +
+                         std::string(ToString(std::get<1>(info.param)));
+      // gtest parameterized names must be alphanumeric.
+      std::erase_if(name, [](char c) { return c == '-'; });
+      return name;
+    });
+
+TEST(TestbedTest, WaterfillModelSelectable) {
+  TestbedConfig config;
+  config.nodes = 2;
+  config.net_model = NetModel::kWaterfill;
+  Testbed bed(FsKind::kMemFs, config);
+  EXPECT_EQ(bed.network().config().nodes, 2u);
+}
+
+TEST(TestbedTest, StandbyNodesEnlargeFabricOnly) {
+  TestbedConfig config;
+  config.nodes = 4;
+  config.standby_nodes = 2;
+  Testbed bed(FsKind::kMemFs, config);
+  EXPECT_EQ(bed.network().config().nodes, 6u);
+  EXPECT_EQ(bed.storage()->server_count(), 4u);
+}
+
+TEST(TestbedTest, DiskPfsIsSlowerThanMemFs) {
+  auto run_write = [](FsKind kind) {
+    TestbedConfig config;
+    config.nodes = 4;
+    Testbed bed(kind, config);
+    EnvelopeParams params;
+    params.nodes = 4;
+    params.file_size = MiB(1);
+    params.files_per_proc = 2;
+    EnvelopeBench bench(bed.simulation(), bed.vfs(), params, nullptr);
+    return bench.RunWrite().BandwidthMBps();
+  };
+  EXPECT_GT(run_write(FsKind::kMemFs), run_write(FsKind::kDiskPfs) * 4);
+}
+
+TEST(TestbedTest, RdmaIsFasterThanIpoib) {
+  auto run_write = [](Fabric fabric) {
+    TestbedConfig config;
+    config.nodes = 4;
+    config.fabric = fabric;
+    Testbed bed(FsKind::kMemFs, config);
+    EnvelopeParams params;
+    params.nodes = 4;
+    params.file_size = MiB(4);
+    params.files_per_proc = 2;
+    EnvelopeBench bench(bed.simulation(), bed.vfs(), params, nullptr);
+    return bench.RunWrite().BandwidthMBps();
+  };
+  EXPECT_GT(run_write(Fabric::kRdma), run_write(Fabric::kDas4Ipoib) * 2);
+}
+
+// --- Envelope accounting rules ---
+
+TEST(EnvelopeAccountingTest, PerFileJobOverheadSlowsDataPhasesOnly) {
+  auto run = [](sim::SimTime overhead) {
+    TestbedConfig config;
+    config.nodes = 4;
+    Testbed bed(FsKind::kMemFs, config);
+    EnvelopeParams params;
+    params.nodes = 4;
+    params.file_size = KiB(64);
+    params.files_per_proc = 4;
+    params.per_file_job_overhead = overhead;
+    EnvelopeBench bench(bed.simulation(), bed.vfs(), params, nullptr);
+    const auto write = bench.RunWrite();
+    const auto create = bench.RunCreate(16);
+    return std::pair{write.BandwidthMBps(), create.OpsPerSec()};
+  };
+  const auto [bw_free, create_free] = run(0);
+  const auto [bw_taxed, create_taxed] = run(units::Millis(1));
+  EXPECT_GT(bw_free, bw_taxed * 2);              // data phases pay
+  EXPECT_NEAR(create_free, create_taxed,
+              create_free * 0.01);               // metadata phases do not
+}
+
+TEST(EnvelopeAccountingTest, OpsCountIoCalls) {
+  TestbedConfig config;
+  config.nodes = 2;
+  Testbed bed(FsKind::kMemFs, config);
+  EnvelopeParams params;
+  params.nodes = 2;
+  params.file_size = KiB(256);
+  params.files_per_proc = 3;
+  params.io_block = KiB(64);  // 4 calls per file
+  EnvelopeBench bench(bed.simulation(), bed.vfs(), params, nullptr);
+  const auto write = bench.RunWrite();
+  EXPECT_EQ(write.ops, 2u * 3u * 4u);
+  const auto read = bench.RunRead11();
+  // Reads need one extra call to observe EOF when size % block == 0.
+  EXPECT_EQ(read.ops, 2u * 3u * 4u);
+}
+
+TEST(EnvelopeAccountingTest, N1SpanIncludesMulticastOnlyForBandwidth) {
+  TestbedConfig config;
+  config.nodes = 4;
+  Testbed bed(FsKind::kAmfs, config);
+  EnvelopeParams params;
+  params.nodes = 4;
+  params.file_size = MiB(1);
+  params.files_per_proc = 1;
+  EnvelopeBench bench(bed.simulation(), bed.vfs(), params, bed.amfs());
+  (void)bench.RunWrite();
+  const auto n1 = bench.RunReadN1();
+  EXPECT_GT(n1.span, n1.work_span);
+  EXPECT_GT(n1.OpsPerSec(), 0.0);
+  EXPECT_LT(n1.BandwidthMBps(), n1.WorkBandwidthMBps() + 1e9);
+}
+
+// --- Generator edge cases ---
+
+TEST(GeneratorEdgeTest, MontageMinimumSize) {
+  MontageParams params;
+  params.degree = 6;
+  params.task_scale = 100000;  // absurd divisor -> floor of 4 images
+  const auto wf = BuildMontage(params);
+  int images = 0;
+  for (const auto& task : wf.tasks) {
+    images += task.stage == "stage_in" ? 1 : 0;
+  }
+  EXPECT_EQ(images, 4);
+  const auto producers = wf.Producers();
+  for (const auto& task : wf.tasks) {
+    for (const auto& input : task.inputs) {
+      EXPECT_TRUE(producers.contains(input));
+    }
+  }
+}
+
+TEST(GeneratorEdgeTest, MontageSizeScaleDividesBytes) {
+  MontageParams coarse;
+  coarse.task_scale = 64;
+  MontageParams fine = coarse;
+  fine.size_scale = 8;
+  const auto full = BuildMontage(coarse).TotalOutputBytes();
+  const auto scaled = BuildMontage(fine).TotalOutputBytes();
+  EXPECT_NEAR(static_cast<double>(full) / static_cast<double>(scaled), 8.0,
+              0.5);
+}
+
+TEST(GeneratorEdgeTest, BlastMinimumFragments) {
+  BlastParams params;
+  params.fragments = 512;
+  params.task_scale = 100000;
+  const auto wf = BuildBlast(params);
+  int fragments = 0;
+  for (const auto& task : wf.tasks) {
+    fragments += task.stage == "formatdb" ? 1 : 0;
+  }
+  EXPECT_EQ(fragments, 2);
+}
+
+TEST(GeneratorEdgeTest, BlastMergeCoversAllResults) {
+  BlastParams params;
+  params.fragments = 16;
+  params.queries_per_fragment = 4;
+  params.merges = 8;
+  const auto wf = BuildBlast(params);
+  int results_consumed = 0;
+  int results_produced = 0;
+  for (const auto& task : wf.tasks) {
+    if (task.stage == "merge") {
+      results_consumed += static_cast<int>(task.inputs.size());
+    }
+    if (task.stage == "blastall") ++results_produced;
+  }
+  EXPECT_EQ(results_consumed, results_produced);
+}
+
+TEST(GeneratorEdgeTest, WorkflowNamesAreUnique) {
+  MontageParams params;
+  params.task_scale = 64;
+  const auto wf = BuildMontage(params);
+  std::set<std::string> names;
+  for (const auto& task : wf.tasks) names.insert(task.name);
+  EXPECT_EQ(names.size(), wf.tasks.size());
+}
+
+}  // namespace
+}  // namespace memfs::workloads

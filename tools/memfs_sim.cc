@@ -1,0 +1,255 @@
+// memfs_sim — command-line driver for the simulated MemFS deployment.
+//
+// Builds a cluster from flags, runs a workload against the chosen file
+// system, and prints the results; optionally emits a per-operation latency
+// profile (--metrics) and a Chrome trace of the workflow (--trace=FILE,
+// viewable in chrome://tracing or ui.perfetto.dev).
+//
+//   memfs_sim --workload=envelope --nodes=16 --file-kb=1024
+//   memfs_sim --workload=montage --fs=amfs --nodes=32 --cores=4
+//   memfs_sim --workload=blast --fabric=ec2 --cores=32 --trace=blast.json
+//
+// Run with --help for the full flag list.
+#include <fstream>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/metrics.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "mtc/runner.h"
+#include "mtc/scheduler.h"
+#include "sim/trace.h"
+#include "workloads/blast.h"
+#include "workloads/envelope.h"
+#include "workloads/montage.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace memfs;  // NOLINT: binary-local brevity
+
+constexpr const char* kHelp = R"(memfs_sim — simulated MemFS cluster driver
+
+  --workload=envelope|montage|blast   what to run        [envelope]
+  --fs=memfs|amfs|diskpfs             file system        [memfs]
+  --fabric=ipoib|gbe|ec2|rdma         network preset     [ipoib]
+  --nodes=N                           cluster size       [16]
+  --cores=N                           cores per node     [8]
+
+envelope:
+  --file-kb=N                         file size in KiB   [1024]
+  --files-per-proc=N                  files per process  [8]
+  --io-block-kb=N                     call size (0=file) [0]
+
+montage / blast:
+  --degree=6|12|16                    mosaic size        [6]
+  --fragments=N                       BLAST db split     [512]
+  --task-scale=N                      divide task count  [16]
+  --size-scale=N                      divide file sizes  [16]
+
+client tuning:
+  --stripe-kb=N                       stripe size        [512]
+  --io-threads=N                      flush/prefetch pool[8]
+  --replication=N                     stripe copies      [1]
+  --ketama                            consistent hashing
+  --mount-per-process                 Fig. 10b deployment
+
+output:
+  --metrics                           per-op latency percentiles
+  --trace=FILE                        Chrome trace (workflows only)
+  --csv                               CSV tables
+)";
+
+workloads::FsKind ParseFs(const std::string& name) {
+  if (name == "amfs") return workloads::FsKind::kAmfs;
+  if (name == "diskpfs") return workloads::FsKind::kDiskPfs;
+  return workloads::FsKind::kMemFs;
+}
+
+workloads::Fabric ParseFabric(const std::string& name) {
+  if (name == "gbe") return workloads::Fabric::kDas4GbE;
+  if (name == "ec2") return workloads::Fabric::kEc2TenGbE;
+  if (name == "rdma") return workloads::Fabric::kRdma;
+  return workloads::Fabric::kDas4Ipoib;
+}
+
+int RunEnvelope(workloads::Testbed& bed, FlagParser& flags, bool csv) {
+  workloads::EnvelopeParams params;
+  params.nodes = bed.config().nodes;
+  params.procs_per_node =
+      static_cast<std::uint32_t>(flags.GetUint("cores", 8));
+  params.file_size = units::KiB(flags.GetUint("file-kb", 1024));
+  params.files_per_proc =
+      static_cast<std::uint32_t>(flags.GetUint("files-per-proc", 8));
+  params.io_block = units::KiB(flags.GetUint("io-block-kb", 0));
+
+  workloads::EnvelopeBench bench(bed.simulation(), bed.vfs(), params,
+                                 bed.amfs());
+  const auto write = bench.RunWrite();
+  const auto read11 = bench.RunRead11();
+  const auto readn1 = bench.RunReadN1();
+  const auto create = bench.RunCreate(64);
+  const auto open = bench.RunOpen();
+
+  Table table({"metric", "bandwidth (MB/s)", "throughput (op/s)"});
+  table.AddRow({"write", Table::Num(write.BandwidthMBps()),
+                Table::Num(write.OpsPerSec(), 0)});
+  table.AddRow({"1-1 read", Table::Num(read11.BandwidthMBps()),
+                Table::Num(read11.OpsPerSec(), 0)});
+  table.AddRow({"N-1 read", Table::Num(readn1.BandwidthMBps()),
+                Table::Num(readn1.OpsPerSec(), 0)});
+  table.AddRow({"create", "-", Table::Num(create.OpsPerSec(), 0)});
+  table.AddRow({"open", "-", Table::Num(open.OpsPerSec(), 0)});
+  table.Print(std::cout, csv);
+  return 0;
+}
+
+int RunWorkflow(workloads::Testbed& bed, FlagParser& flags, bool csv,
+                const std::string& workload) {
+  const auto task_scale =
+      static_cast<std::uint32_t>(flags.GetUint("task-scale", 16));
+  const auto size_scale = flags.GetUint("size-scale", 16);
+
+  mtc::Workflow workflow;
+  if (workload == "montage") {
+    workloads::MontageParams params;
+    params.degree = static_cast<std::uint32_t>(flags.GetUint("degree", 6));
+    params.task_scale = task_scale;
+    params.size_scale = size_scale;
+    workflow = workloads::BuildMontage(params);
+  } else {
+    workloads::BlastParams params;
+    params.fragments =
+        static_cast<std::uint32_t>(flags.GetUint("fragments", 512));
+    params.task_scale = task_scale;
+    params.size_scale = size_scale;
+    workflow = workloads::BuildBlast(params);
+  }
+
+  sim::TraceRecorder trace;
+  const std::string trace_path = flags.GetString("trace", "");
+
+  mtc::RunnerConfig runner_config;
+  runner_config.nodes = bed.config().nodes;
+  runner_config.cores_per_node =
+      static_cast<std::uint32_t>(flags.GetUint("cores", 8));
+  if (!trace_path.empty()) runner_config.trace = &trace;
+
+  mtc::WorkflowResult result;
+  if (bed.kind() == workloads::FsKind::kAmfs) {
+    mtc::LocalityScheduler scheduler(*bed.amfs());
+    mtc::Runner runner(bed.simulation(), bed.vfs(), scheduler, runner_config);
+    result = runner.Run(workflow);
+  } else {
+    mtc::UniformScheduler scheduler;
+    mtc::Runner runner(bed.simulation(), bed.vfs(), scheduler, runner_config);
+    result = runner.Run(workflow);
+  }
+
+  std::cout << workflow.name << ": " << workflow.tasks.size() << " tasks, "
+            << Table::Num(
+                   static_cast<double>(workflow.TotalOutputBytes()) / 1e6)
+            << " MB runtime data\n\n";
+  Table table({"stage", "tasks", "span (s)", "per-node MB/s"});
+  for (const auto& stage : result.stages) {
+    table.AddRow({stage.stage, Table::Int(stage.tasks),
+                  Table::Num(stage.SpanSeconds(), 2),
+                  Table::Num(stage.PerCoreMBps() *
+                             static_cast<double>(runner_config.cores_per_node))});
+  }
+  table.Print(std::cout, csv);
+  std::cout << "\nmakespan: " << Table::Num(result.MakespanSeconds(), 2)
+            << " s, status: "
+            << (result.status.ok() ? "ok" : result.status.ToString()) << "\n";
+
+  if (!trace_path.empty()) {
+    for (std::uint32_t n = 0; n < bed.config().nodes; ++n) {
+      trace.NameProcess(n, "node " + std::to_string(n));
+    }
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    trace.WriteJson(out);
+    std::cout << "trace: " << trace.spans().size() << " task spans -> "
+              << trace_path << "\n";
+  }
+  return result.status.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("help")) {
+    std::cout << kHelp;
+    return 0;
+  }
+  const bool csv = flags.GetBool("csv");
+  const std::string workload = flags.GetString("workload", "envelope");
+
+  MetricsRegistry metrics;
+  workloads::TestbedConfig config;
+  config.nodes = static_cast<std::uint32_t>(flags.GetUint("nodes", 16));
+  config.fabric = ParseFabric(flags.GetString("fabric", "ipoib"));
+  config.memfs.stripe_size = units::KiB(flags.GetUint("stripe-kb", 512));
+  config.memfs.io_threads =
+      static_cast<std::uint32_t>(flags.GetUint("io-threads", 8));
+  config.memfs.read_threads = config.memfs.io_threads;
+  config.memfs.replication =
+      static_cast<std::uint32_t>(flags.GetUint("replication", 1));
+  config.memfs.use_ketama = flags.GetBool("ketama");
+  if (flags.GetBool("mount-per-process")) {
+    config.memfs.fuse.mounts_per_node =
+        static_cast<std::uint32_t>(flags.GetUint("cores", 8));
+  }
+  const bool want_metrics = flags.GetBool("metrics");
+  if (want_metrics) config.metrics = &metrics;
+  const workloads::FsKind kind = ParseFs(flags.GetString("fs", "memfs"));
+
+  // --trace is consumed by RunWorkflow but must be recognized up front so
+  // the unknown-flag check below does not reject envelope runs using it.
+  (void)flags.GetString("trace", "");
+  (void)flags.GetUint("cores", 8);
+
+  const auto unknown = flags.UnknownFlags();
+  // Workload flags are recognized lazily; pre-register them.
+  (void)flags.GetUint("file-kb", 1024);
+  (void)flags.GetUint("files-per-proc", 8);
+  (void)flags.GetUint("io-block-kb", 0);
+  (void)flags.GetUint("degree", 6);
+  (void)flags.GetUint("fragments", 512);
+  (void)flags.GetUint("task-scale", 16);
+  (void)flags.GetUint("size-scale", 16);
+  const auto still_unknown = flags.UnknownFlags();
+  if (!still_unknown.empty()) {
+    for (const auto& name : still_unknown) {
+      std::cerr << "unknown flag: --" << name << "\n";
+    }
+    std::cerr << "see --help\n";
+    return 2;
+  }
+  (void)unknown;
+
+  workloads::Testbed bed(kind, config);
+  std::cout << "# memfs_sim: " << ToString(kind) << " on " << config.nodes
+            << " nodes, " << ToString(config.fabric) << "\n\n";
+
+  int rc;
+  if (workload == "envelope") {
+    rc = RunEnvelope(bed, flags, csv);
+  } else if (workload == "montage" || workload == "blast") {
+    rc = RunWorkflow(bed, flags, csv, workload);
+  } else {
+    std::cerr << "unknown workload: " << workload << " (see --help)\n";
+    return 2;
+  }
+
+  if (want_metrics) {
+    std::cout << "\n# per-operation latency profile\n";
+    metrics.Report(std::cout, csv);
+  }
+  return rc;
+}
