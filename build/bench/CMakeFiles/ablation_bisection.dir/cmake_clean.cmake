@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bisection.dir/ablation_bisection.cc.o"
+  "CMakeFiles/ablation_bisection.dir/ablation_bisection.cc.o.d"
+  "ablation_bisection"
+  "ablation_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03a_stripe_size.dir/fig03a_stripe_size.cc.o"
+  "CMakeFiles/fig03a_stripe_size.dir/fig03a_stripe_size.cc.o.d"
+  "fig03a_stripe_size"
+  "fig03a_stripe_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03a_stripe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03b_threads.dir/fig03b_threads.cc.o"
+  "CMakeFiles/fig03b_threads.dir/fig03b_threads.cc.o.d"
+  "fig03b_threads"
+  "fig03b_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03b_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_envelope_bandwidth.dir/fig04_envelope_bandwidth.cc.o"
+  "CMakeFiles/fig04_envelope_bandwidth.dir/fig04_envelope_bandwidth.cc.o.d"
+  "fig04_envelope_bandwidth"
+  "fig04_envelope_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_envelope_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_metadata.dir/fig06_metadata.cc.o"
+  "CMakeFiles/fig06_metadata.dir/fig06_metadata.cc.o.d"
+  "fig06_metadata"
+  "fig06_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

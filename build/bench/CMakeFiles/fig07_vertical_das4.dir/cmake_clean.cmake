@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_vertical_das4.dir/fig07_vertical_das4.cc.o"
+  "CMakeFiles/fig07_vertical_das4.dir/fig07_vertical_das4.cc.o.d"
+  "fig07_vertical_das4"
+  "fig07_vertical_das4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vertical_das4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_horizontal_das4.dir/fig08_horizontal_das4.cc.o"
+  "CMakeFiles/fig08_horizontal_das4.dir/fig08_horizontal_das4.cc.o.d"
+  "fig08_horizontal_das4"
+  "fig08_horizontal_das4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_horizontal_das4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

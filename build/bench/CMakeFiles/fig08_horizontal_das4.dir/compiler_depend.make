@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_horizontal_das4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memory_usage.dir/fig09_memory_usage.cc.o"
+  "CMakeFiles/fig09_memory_usage.dir/fig09_memory_usage.cc.o.d"
+  "fig09_memory_usage"
+  "fig09_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

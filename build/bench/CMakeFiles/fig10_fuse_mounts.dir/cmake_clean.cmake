@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fuse_mounts.dir/fig10_fuse_mounts.cc.o"
+  "CMakeFiles/fig10_fuse_mounts.dir/fig10_fuse_mounts.cc.o.d"
+  "fig10_fuse_mounts"
+  "fig10_fuse_mounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fuse_mounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

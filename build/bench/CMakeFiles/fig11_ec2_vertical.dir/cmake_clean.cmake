@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ec2_vertical.dir/fig11_ec2_vertical.cc.o"
+  "CMakeFiles/fig11_ec2_vertical.dir/fig11_ec2_vertical.cc.o.d"
+  "fig11_ec2_vertical"
+  "fig11_ec2_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ec2_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_blast_ec2.dir/fig13_blast_ec2.cc.o"
+  "CMakeFiles/fig13_blast_ec2.dir/fig13_blast_ec2.cc.o.d"
+  "fig13_blast_ec2"
+  "fig13_blast_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_blast_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_latency_profile.dir/micro_latency_profile.cc.o"
+  "CMakeFiles/micro_latency_profile.dir/micro_latency_profile.cc.o.d"
+  "micro_latency_profile"
+  "micro_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_amfs_memory.dir/table3_amfs_memory.cc.o"
+  "CMakeFiles/table3_amfs_memory.dir/table3_amfs_memory.cc.o.d"
+  "table3_amfs_memory"
+  "table3_amfs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_amfs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

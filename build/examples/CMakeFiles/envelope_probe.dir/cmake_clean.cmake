@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_probe.dir/envelope_probe.cpp.o"
+  "CMakeFiles/envelope_probe.dir/envelope_probe.cpp.o.d"
+  "envelope_probe"
+  "envelope_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

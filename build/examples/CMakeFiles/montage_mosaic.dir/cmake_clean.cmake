@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montage_mosaic.dir/montage_mosaic.cpp.o"
+  "CMakeFiles/montage_mosaic.dir/montage_mosaic.cpp.o.d"
+  "montage_mosaic"
+  "montage_mosaic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montage_mosaic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

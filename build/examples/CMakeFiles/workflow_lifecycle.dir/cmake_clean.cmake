@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_lifecycle.dir/workflow_lifecycle.cpp.o"
+  "CMakeFiles/workflow_lifecycle.dir/workflow_lifecycle.cpp.o.d"
+  "workflow_lifecycle"
+  "workflow_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_amfs.dir/amfs.cc.o"
+  "CMakeFiles/memfs_amfs.dir/amfs.cc.o.d"
+  "libmemfs_amfs.a"
+  "libmemfs_amfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_amfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_common.dir/bytes.cc.o"
+  "CMakeFiles/memfs_common.dir/bytes.cc.o.d"
+  "CMakeFiles/memfs_common.dir/flags.cc.o"
+  "CMakeFiles/memfs_common.dir/flags.cc.o.d"
+  "CMakeFiles/memfs_common.dir/metrics.cc.o"
+  "CMakeFiles/memfs_common.dir/metrics.cc.o.d"
+  "CMakeFiles/memfs_common.dir/status.cc.o"
+  "CMakeFiles/memfs_common.dir/status.cc.o.d"
+  "CMakeFiles/memfs_common.dir/table.cc.o"
+  "CMakeFiles/memfs_common.dir/table.cc.o.d"
+  "libmemfs_common.a"
+  "libmemfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

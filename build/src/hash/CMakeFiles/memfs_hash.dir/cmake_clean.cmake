@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_hash.dir/distributor.cc.o"
+  "CMakeFiles/memfs_hash.dir/distributor.cc.o.d"
+  "CMakeFiles/memfs_hash.dir/hash.cc.o"
+  "CMakeFiles/memfs_hash.dir/hash.cc.o.d"
+  "libmemfs_hash.a"
+  "libmemfs_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/kv_cluster.cc" "src/kvstore/CMakeFiles/memfs_kvstore.dir/kv_cluster.cc.o" "gcc" "src/kvstore/CMakeFiles/memfs_kvstore.dir/kv_cluster.cc.o.d"
+  "/root/repo/src/kvstore/kv_server.cc" "src/kvstore/CMakeFiles/memfs_kvstore.dir/kv_server.cc.o" "gcc" "src/kvstore/CMakeFiles/memfs_kvstore.dir/kv_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/memfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_kvstore.dir/kv_cluster.cc.o"
+  "CMakeFiles/memfs_kvstore.dir/kv_cluster.cc.o.d"
+  "CMakeFiles/memfs_kvstore.dir/kv_server.cc.o"
+  "CMakeFiles/memfs_kvstore.dir/kv_server.cc.o.d"
+  "libmemfs_kvstore.a"
+  "libmemfs_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memfs/fuse.cc" "src/memfs/CMakeFiles/memfs_memfs.dir/fuse.cc.o" "gcc" "src/memfs/CMakeFiles/memfs_memfs.dir/fuse.cc.o.d"
+  "/root/repo/src/memfs/memfs.cc" "src/memfs/CMakeFiles/memfs_memfs.dir/memfs.cc.o" "gcc" "src/memfs/CMakeFiles/memfs_memfs.dir/memfs.cc.o.d"
+  "/root/repo/src/memfs/metadata.cc" "src/memfs/CMakeFiles/memfs_memfs.dir/metadata.cc.o" "gcc" "src/memfs/CMakeFiles/memfs_memfs.dir/metadata.cc.o.d"
+  "/root/repo/src/memfs/striper.cc" "src/memfs/CMakeFiles/memfs_memfs.dir/striper.cc.o" "gcc" "src/memfs/CMakeFiles/memfs_memfs.dir/striper.cc.o.d"
+  "/root/repo/src/memfs/vfs.cc" "src/memfs/CMakeFiles/memfs_memfs.dir/vfs.cc.o" "gcc" "src/memfs/CMakeFiles/memfs_memfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/memfs_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/memfs_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/memfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

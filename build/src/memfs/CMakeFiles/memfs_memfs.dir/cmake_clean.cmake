@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_memfs.dir/fuse.cc.o"
+  "CMakeFiles/memfs_memfs.dir/fuse.cc.o.d"
+  "CMakeFiles/memfs_memfs.dir/memfs.cc.o"
+  "CMakeFiles/memfs_memfs.dir/memfs.cc.o.d"
+  "CMakeFiles/memfs_memfs.dir/metadata.cc.o"
+  "CMakeFiles/memfs_memfs.dir/metadata.cc.o.d"
+  "CMakeFiles/memfs_memfs.dir/striper.cc.o"
+  "CMakeFiles/memfs_memfs.dir/striper.cc.o.d"
+  "CMakeFiles/memfs_memfs.dir/vfs.cc.o"
+  "CMakeFiles/memfs_memfs.dir/vfs.cc.o.d"
+  "libmemfs_memfs.a"
+  "libmemfs_memfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_memfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

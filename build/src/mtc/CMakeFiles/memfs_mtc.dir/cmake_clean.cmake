@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_mtc.dir/runner.cc.o"
+  "CMakeFiles/memfs_mtc.dir/runner.cc.o.d"
+  "CMakeFiles/memfs_mtc.dir/scheduler.cc.o"
+  "CMakeFiles/memfs_mtc.dir/scheduler.cc.o.d"
+  "CMakeFiles/memfs_mtc.dir/staging.cc.o"
+  "CMakeFiles/memfs_mtc.dir/staging.cc.o.d"
+  "libmemfs_mtc.a"
+  "libmemfs_mtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_mtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemfs_mtc.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_net.dir/fluid_network.cc.o"
+  "CMakeFiles/memfs_net.dir/fluid_network.cc.o.d"
+  "CMakeFiles/memfs_net.dir/rpc.cc.o"
+  "CMakeFiles/memfs_net.dir/rpc.cc.o.d"
+  "libmemfs_net.a"
+  "libmemfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_sim.dir/simulation.cc.o"
+  "CMakeFiles/memfs_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/memfs_sim.dir/trace.cc.o"
+  "CMakeFiles/memfs_sim.dir/trace.cc.o.d"
+  "libmemfs_sim.a"
+  "libmemfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

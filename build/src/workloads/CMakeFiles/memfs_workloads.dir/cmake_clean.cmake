@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_workloads.dir/blast.cc.o"
+  "CMakeFiles/memfs_workloads.dir/blast.cc.o.d"
+  "CMakeFiles/memfs_workloads.dir/envelope.cc.o"
+  "CMakeFiles/memfs_workloads.dir/envelope.cc.o.d"
+  "CMakeFiles/memfs_workloads.dir/montage.cc.o"
+  "CMakeFiles/memfs_workloads.dir/montage.cc.o.d"
+  "CMakeFiles/memfs_workloads.dir/testbed.cc.o"
+  "CMakeFiles/memfs_workloads.dir/testbed.cc.o.d"
+  "libmemfs_workloads.a"
+  "libmemfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amfs_test.dir/amfs_test.cc.o"
+  "CMakeFiles/amfs_test.dir/amfs_test.cc.o.d"
+  "amfs_test"
+  "amfs_test.pdb"
+  "amfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

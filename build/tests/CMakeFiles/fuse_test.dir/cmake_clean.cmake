@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_test.dir/fuse_test.cc.o"
+  "CMakeFiles/fuse_test.dir/fuse_test.cc.o.d"
+  "fuse_test"
+  "fuse_test.pdb"
+  "fuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

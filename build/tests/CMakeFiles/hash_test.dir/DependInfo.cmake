@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hash_test.cc" "tests/CMakeFiles/hash_test.dir/hash_test.cc.o" "gcc" "tests/CMakeFiles/hash_test.dir/hash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/memfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtc/CMakeFiles/memfs_mtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/amfs/CMakeFiles/memfs_amfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/memfs/CMakeFiles/memfs_memfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/memfs_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/memfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/memfs_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

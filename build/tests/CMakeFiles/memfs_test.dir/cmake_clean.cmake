@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_test.dir/memfs_test.cc.o"
+  "CMakeFiles/memfs_test.dir/memfs_test.cc.o.d"
+  "memfs_test"
+  "memfs_test.pdb"
+  "memfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

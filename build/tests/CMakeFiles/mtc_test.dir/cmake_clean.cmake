@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_test.dir/mtc_test.cc.o"
+  "CMakeFiles/mtc_test.dir/mtc_test.cc.o.d"
+  "mtc_test"
+  "mtc_test.pdb"
+  "mtc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfs_sim_cli.dir/memfs_sim.cc.o"
+  "CMakeFiles/memfs_sim_cli.dir/memfs_sim.cc.o.d"
+  "memfs_sim"
+  "memfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfs_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
