@@ -1,0 +1,216 @@
+// Ablation — chaos harness for the fault-injection engine and the client
+// retry/deadline/breaker layer. Runs the same Envelope-style workload
+// (32 x 1 MiB files, staggered starts, round-robin client nodes, 8 servers,
+// replication 2) three times: healthy, under a scripted schedule of disjoint
+// crash/slow/loss windows, and under a seed-generated schedule. Reports
+// completion rate, wall-clock (simulated) overhead versus the healthy
+// baseline, and every fault/recovery counter, so a change to the retry or
+// degradation logic shows up as a shifted row, not a vague test failure.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/fault.h"
+
+using namespace memfs;         // NOLINT
+using namespace memfs::bench;  // NOLINT
+
+namespace {
+
+constexpr std::uint32_t kNodes = 8;
+constexpr std::uint32_t kFiles = 32;
+constexpr std::uint64_t kFileSize = units::MiB(1);
+
+struct ChaosResult {
+  std::uint32_t writes_ok = 0;
+  std::uint32_t reads_intact = 0;
+  double write_span_ms = 0;
+  double verify_span_ms = 0;
+  kv::KvClusterStats kv;
+  fs::MemFsStats fs;
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t fault_events = 0;
+};
+
+sim::Task RunChaosWrite(sim::Simulation& sim, fs::Vfs& vfs, sim::SimTime start,
+                        std::uint32_t node, std::string path,
+                        std::uint64_t seed, std::uint8_t& ok) {
+  co_await sim.Delay(start);
+  fs::VfsContext ctx{node, 0};
+  auto created = co_await vfs.Create(ctx, path);
+  if (!created.ok()) co_return;
+  const Status wrote = co_await vfs.Write(ctx, created.value(),
+                                          Bytes::Synthetic(kFileSize, seed));
+  const Status closed = co_await vfs.Close(ctx, created.value());
+  ok = wrote.ok() && closed.ok();
+}
+
+sim::Task RunChaosVerify(fs::Vfs& vfs, std::uint32_t node, std::string path,
+                         std::uint64_t seed, std::uint8_t& intact) {
+  fs::VfsContext ctx{node, 0};
+  auto opened = co_await vfs.Open(ctx, path);
+  if (!opened.ok()) co_return;
+  Bytes out;
+  while (true) {
+    auto chunk =
+        co_await vfs.Read(ctx, opened.value(), out.size(), units::MiB(1));
+    if (!chunk.ok()) co_return;
+    if (chunk->empty()) break;
+    out.Append(*chunk);
+  }
+  (void)co_await vfs.Close(ctx, opened.value());
+  intact = out.ContentEquals(Bytes::Synthetic(kFileSize, seed));
+}
+
+// The hand-scripted schedule from the chaos soak test: three wiping crashes
+// on non-adjacent ring positions, two deadline-tripping slowdowns, two lossy
+// links — every window disjoint, so no replica pair ever loses both copies.
+std::vector<sim::FaultEvent> ScriptedSchedule() {
+  std::vector<sim::FaultEvent> events;
+  for (std::uint32_t victim : {0u, 2u, 4u}) {
+    sim::FaultEvent crash;
+    crash.kind = sim::FaultKind::kServerCrash;
+    crash.server = victim;
+    crash.start = units::Millis(10 + victim * 10);
+    crash.duration = units::Millis(12);
+    crash.wipe_on_restart = true;
+    events.push_back(crash);
+  }
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    sim::FaultEvent slow;
+    slow.kind = sim::FaultKind::kServerSlow;
+    slow.server = i == 0 ? 1 : 6;
+    slow.start = i == 0 ? units::Millis(68) : units::Millis(84);
+    slow.duration = units::Millis(12);
+    slow.slow_factor = 500.0;
+    events.push_back(slow);
+  }
+  for (std::uint32_t src : {3u, 7u}) {
+    sim::FaultEvent link;
+    link.kind = sim::FaultKind::kLinkFault;
+    link.src = src;
+    link.dst = 5;
+    link.start = units::Millis(5);
+    link.duration = units::Millis(80);
+    link.loss_prob = 0.5;
+    events.push_back(link);
+  }
+  return events;
+}
+
+ChaosResult RunChaos(const std::vector<sim::FaultEvent>& schedule) {
+  workloads::TestbedConfig config;
+  config.nodes = kNodes;
+  config.memfs.replication = 2;
+  config.kv_policy.retry.max_attempts = 5;
+  config.kv_policy.op_deadline = units::Millis(20);
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  sim::Simulation& sim = bed.simulation();
+
+  sim::FaultHooks hooks;
+  hooks.set_server_down = [&bed](std::uint32_t server, bool down, bool wipe) {
+    bed.storage()->SetServerDown(server, down, wipe);
+  };
+  hooks.set_server_slowdown = [&bed](std::uint32_t server, double factor) {
+    bed.storage()->SetServerSlowdown(server, factor);
+  };
+  hooks.set_link_fault = [&bed](std::uint32_t src, std::uint32_t dst,
+                                double loss, sim::SimTime extra) {
+    bed.network().SetLinkFault(src, dst, {loss, extra});
+  };
+  hooks.clear_link_fault = [&bed](std::uint32_t src, std::uint32_t dst) {
+    bed.network().ClearLinkFault(src, dst);
+  };
+  sim::FaultInjector injector(sim, std::move(hooks));
+  injector.ScheduleAll(schedule);
+
+  std::vector<std::uint8_t> write_ok(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    RunChaosWrite(sim, bed.vfs(), units::Millis(3) * i, i % kNodes,
+                  "/chaos_" + std::to_string(i), 1000 + i, write_ok[i]);
+  }
+  sim.Run();
+  const sim::SimTime write_end = sim.now();
+
+  std::vector<std::uint8_t> intact(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    RunChaosVerify(bed.vfs(), i % kNodes, "/chaos_" + std::to_string(i),
+                   1000 + i, intact[i]);
+  }
+  sim.Run();
+
+  ChaosResult result;
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    result.writes_ok += write_ok[i];
+    result.reads_intact += intact[i];
+  }
+  result.write_span_ms = static_cast<double>(write_end) / 1e6;
+  result.verify_span_ms = static_cast<double>(sim.now() - write_end) / 1e6;
+  result.kv = bed.storage()->stats();
+  result.fs = bed.memfs()->stats();
+  result.dropped_messages = bed.network().dropped_messages();
+  result.fault_events = injector.stats().total_events();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = WantCsv(argc, argv);
+
+  std::cout << "# Chaos ablation: Envelope-style workload (" << kFiles
+            << " x 1 MiB, 8 servers, replication 2, 20 ms op deadline)\n";
+
+  struct Scenario {
+    const char* name;
+    std::vector<sim::FaultEvent> schedule;
+  };
+  sim::FaultScheduleConfig generated;
+  generated.seed = 1;
+  generated.servers = kNodes;
+  generated.nodes = kNodes;
+  generated.horizon = units::Millis(90);
+  generated.crashes = 3;
+  generated.slow_episodes = 2;
+  generated.link_faults = 2;
+  const std::vector<Scenario> scenarios = {
+      {"healthy", {}},
+      {"scripted faults", ScriptedSchedule()},
+      {"generated seed=1", sim::GenerateFaultSchedule(generated)},
+  };
+
+  Table completion({"scenario", "writes ok", "reads intact", "write span (ms)",
+                    "x healthy", "verify span (ms)"});
+  Table recovery({"scenario", "retries", "deadline exc", "breaker opens",
+                  "fast fails", "degraded wr", "failover rd", "failover wr",
+                  "read repairs", "dropped msgs", "fault events"});
+
+  double healthy_span = 0;
+  for (const Scenario& scenario : scenarios) {
+    const ChaosResult r = RunChaos(scenario.schedule);
+    if (healthy_span == 0) healthy_span = r.write_span_ms;
+    completion.AddRow({scenario.name,
+                       Table::Int(r.writes_ok) + "/" + Table::Int(kFiles),
+                       Table::Int(r.reads_intact) + "/" + Table::Int(kFiles),
+                       Table::Num(r.write_span_ms, 2),
+                       Table::Num(r.write_span_ms / healthy_span, 2),
+                       Table::Num(r.verify_span_ms, 2)});
+    recovery.AddRow({scenario.name, Table::Int(r.kv.retries),
+                     Table::Int(r.kv.deadline_exceeded),
+                     Table::Int(r.kv.breaker_opens),
+                     Table::Int(r.kv.breaker_fast_fails),
+                     Table::Int(r.fs.degraded_writes),
+                     Table::Int(r.fs.replica_failovers),
+                     Table::Int(r.fs.write_failovers),
+                     Table::Int(r.fs.read_repairs),
+                     Table::Int(r.dropped_messages),
+                     Table::Int(r.fault_events)});
+  }
+  completion.Print(std::cout, csv);
+
+  std::cout << "\n# Fault handling and recovery activity\n";
+  recovery.Print(std::cout, csv);
+  return 0;
+}

@@ -79,6 +79,19 @@ LatencyHistogram& MetricsRegistry::Histogram(std::string_view name) {
   return it->second;
 }
 
+std::uint64_t& MetricsRegistry::Counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
 void MetricsRegistry::Report(std::ostream& os, bool csv) const {
   Table table({"operation", "count", "mean (us)", "p50 (us)", "p90 (us)",
                "p99 (us)", "max (us)"});
@@ -92,6 +105,13 @@ void MetricsRegistry::Report(std::ostream& os, bool csv) const {
                              1e3)});
   }
   table.Print(os, csv);
+  if (!counters_.empty()) {
+    Table events({"counter", "value"});
+    for (const auto& [name, value] : counters_) {
+      if (value != 0) events.AddRow({name, Table::Int(value)});
+    }
+    events.Print(os, csv);
+  }
 }
 
 }  // namespace memfs

@@ -56,15 +56,28 @@ class MetricsRegistry {
   // stay valid for the registry's lifetime.
   LatencyHistogram& Histogram(std::string_view name);
 
+  // Monotonic event counter for `name` (retries, breaker trips, failovers,
+  // read repairs, injected faults, ...), created at zero on first use.
+  // References stay valid for the registry's lifetime.
+  std::uint64_t& Counter(std::string_view name);
+
+  // Value of a counter without creating it (0 when absent).
+  std::uint64_t CounterValue(std::string_view name) const;
+
   const std::map<std::string, LatencyHistogram, std::less<>>& all() const {
     return histograms_;
   }
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
 
-  // Aligned percentile table (name, count, mean, p50, p90, p99, max in µs).
+  // Aligned percentile table (name, count, mean, p50, p90, p99, max in µs),
+  // followed by the nonzero counters.
   void Report(std::ostream& os, bool csv = false) const;
 
  private:
   std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 }  // namespace memfs

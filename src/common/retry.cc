@@ -1,0 +1,72 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace memfs {
+
+std::uint64_t RetryState::BudgetRemaining(std::uint64_t now) const {
+  if (policy_.deadline_budget == 0) {
+    return ~std::uint64_t{0};
+  }
+  const std::uint64_t end = start_ + policy_.deadline_budget;
+  return now >= end ? 0 : end - now;
+}
+
+RetryState::Backoff RetryState::NextBackoff(Rng& rng, std::uint64_t now) {
+  if (attempts_started_ >= std::max<std::uint32_t>(policy_.max_attempts, 1)) {
+    return {};
+  }
+  const std::uint64_t remaining = BudgetRemaining(now);
+  if (remaining == 0) return {};
+
+  // Decorrelated jitter: uniform in [base, 3 * previous], capped. The first
+  // retry draws from [base, 3 * base].
+  const std::uint64_t base = std::max<std::uint64_t>(policy_.base_backoff, 1);
+  const std::uint64_t prev = std::max(prev_backoff_, base);
+  const std::uint64_t hi = std::max(base, std::min(policy_.max_backoff,
+                                                   3 * prev));
+  std::uint64_t backoff = rng.Range(base, hi);
+  prev_backoff_ = backoff;
+
+  // Never sleep past the deadline budget. If not even one nanosecond of
+  // attempt time would remain after the backoff, give up instead of waking
+  // up with nothing left to spend.
+  if (backoff >= remaining) return {};
+  ++attempts_started_;
+  return {true, backoff};
+}
+
+bool CircuitBreaker::AllowRequest(std::uint64_t now) {
+  if (config_.failure_threshold == 0) return true;
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now >= open_until_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(std::uint64_t now) {
+  if (config_.failure_threshold == 0) return;
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= config_.failure_threshold)) {
+    if (state_ != State::kOpen) ++open_transitions_;
+    state_ = State::kOpen;
+    open_until_ = now + config_.open_duration;
+  }
+}
+
+}  // namespace memfs

@@ -16,6 +16,7 @@ std::string_view ToString(ErrorCode code) {
     case ErrorCode::kTooLarge: return "TOO_LARGE";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kBadHandle: return "BAD_HANDLE";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

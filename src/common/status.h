@@ -27,8 +27,17 @@ enum class ErrorCode : std::uint8_t {
   kTooLarge,        // EFBIG  (object exceeds the per-object limit)
   kUnavailable,     // server unreachable
   kBadHandle,       // EBADF
+  kDeadlineExceeded, // ETIMEDOUT (per-op deadline elapsed; server slow/lossy)
   kInternal,
 };
+
+// Transient failures worth retrying: the server may answer on a later
+// attempt (it was down, slow, or the message was lost). Every other code is
+// a definitive answer from a healthy server and must not be retried.
+inline bool IsRetryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable ||
+         code == ErrorCode::kDeadlineExceeded;
+}
 
 std::string_view ToString(ErrorCode code);
 
@@ -120,6 +129,9 @@ inline Status Unavailable(std::string msg = {}) {
 }
 inline Status BadHandle(std::string msg = {}) {
   return {ErrorCode::kBadHandle, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg = {}) {
+  return {ErrorCode::kDeadlineExceeded, std::move(msg)};
 }
 inline Status Internal(std::string msg = {}) {
   return {ErrorCode::kInternal, std::move(msg)};

@@ -1,18 +1,146 @@
 #include "kvstore/kv_cluster.h"
 
 #include <functional>
+#include <memory>
 #include <utility>
 
-#include "sim/task.h"
-
 namespace memfs::kv {
+
+// Outcome slot for a single attempt. The attempt coroutine and the deadline
+// watchdog race to settle it; whoever loses finds `settled` and stands down.
+// `applied` marks the server's commit point: once set, the watchdog lets the
+// acknowledgement finish instead of reporting DEADLINE_EXCEEDED, so a retried
+// ADD/APPEND can never have been applied by an earlier attempt.
+template <typename T>
+struct RaceState {
+  explicit RaceState(sim::Simulation& sim) : promise(sim) {}
+
+  sim::Promise<T> promise;
+  bool settled = false;
+  bool applied = false;
+
+  void Settle(T value) {
+    if (settled) return;
+    settled = true;
+    promise.Set(std::move(value));
+  }
+};
+
+namespace {
+
+template <typename T>
+T ErrorResult(Status status);
+template <>
+Status ErrorResult<Status>(Status status) {
+  return status;
+}
+template <>
+Result<Bytes> ErrorResult<Result<Bytes>>(Status status) {
+  return Result<Bytes>(std::move(status));
+}
+
+Status StatusOf(const Status& status) { return status; }
+Status StatusOf(const Result<Bytes>& result) { return result.status(); }
+
+// Awaits an operation's future and records the client-observed latency.
+template <typename T>
+sim::Task RecordKvLatency(sim::Future<T> future, sim::Simulation* sim,
+                          LatencyHistogram* histogram, sim::SimTime start) {
+  (void)co_await future;
+  histogram->Record(sim->now() - start);
+}
+
+template <typename T>
+sim::Task RunDeadline(sim::Simulation& sim, std::shared_ptr<RaceState<T>> race,
+                      sim::SimTime deadline) {
+  co_await sim.Delay(deadline);
+  if (race->applied) co_return;  // committed: wait for the acknowledgement
+  race->Settle(ErrorResult<T>(status::DeadlineExceeded("op deadline")));
+}
+
+// One mutation attempt: ship key+value to the server, process under a worker
+// slot, return a small acknowledgement.
+sim::Task RunMutationAttempt(sim::Simulation& sim, net::Network& network,
+                             KvCluster::ServerSlotAccess slot,
+                             net::NodeId client, std::uint64_t request_bytes,
+                             sim::SimTime service_time,
+                             std::shared_ptr<std::function<Status()>> apply,
+                             std::shared_ptr<RaceState<Status>> race,
+                             std::uint64_t ack_bytes,
+                             sim::SimTime failure_timeout) {
+  if (network.DropMessage(client, slot.node)) {
+    // The request evaporated; with no reply coming, the client can only wait
+    // out its timeout (the deadline watchdog usually fires first).
+    co_await sim.Delay(failure_timeout);
+    race->Settle(status::DeadlineExceeded("request lost"));
+    co_return;
+  }
+  co_await network.Transfer(client, slot.node, request_bytes);
+  if (*slot.down) {
+    co_await sim.Delay(failure_timeout);
+    race->Settle(status::Unavailable("server down"));
+    co_return;
+  }
+  co_await slot.workers->Acquire();
+  co_await sim.Delay(static_cast<sim::SimTime>(
+      static_cast<double>(service_time) * *slot.slow_factor));
+  if (race->settled) {
+    // The client gave up on this attempt; cancellation reaches the server
+    // before commit, so the request is discarded — a later retry stays
+    // exactly-once for non-idempotent ADD/APPEND.
+    slot.workers->Release();
+    co_return;
+  }
+  race->applied = true;
+  Status status = (*apply)();
+  slot.workers->Release();
+  co_await network.Transfer(slot.node, client, ack_bytes);
+  race->Settle(std::move(status));
+}
+
+// One GET attempt; GETs have no commit point, so the deadline may preempt
+// any phase and the value-sized reply leg is skipped once abandoned.
+sim::Task RunGetAttempt(sim::Simulation& sim, net::Network& network,
+                        KvCluster::ServerSlotAccess slot, net::NodeId client,
+                        std::uint64_t request_bytes, const KvOpCostModel& cost,
+                        KvServer* state, std::string key,
+                        std::shared_ptr<RaceState<Result<Bytes>>> race) {
+  if (network.DropMessage(client, slot.node)) {
+    co_await sim.Delay(cost.failure_timeout);
+    race->Settle(Result<Bytes>(status::DeadlineExceeded("request lost")));
+    co_return;
+  }
+  co_await network.Transfer(client, slot.node, request_bytes);
+  if (*slot.down) {
+    co_await sim.Delay(cost.failure_timeout);
+    race->Settle(Result<Bytes>(status::Unavailable("server down")));
+    co_return;
+  }
+  co_await slot.workers->Acquire();
+  Result<Bytes> result = state->Get(key);
+  const std::uint64_t value_bytes =
+      result.ok() ? result.value().StoredSize() : 0;
+  const auto service =
+      cost.get_base + static_cast<sim::SimTime>(cost.get_ns_per_byte *
+                                                static_cast<double>(
+                                                    value_bytes));
+  co_await sim.Delay(static_cast<sim::SimTime>(
+      static_cast<double>(service) * *slot.slow_factor));
+  slot.workers->Release();
+  if (race->settled) co_return;  // abandoned: no one is listening
+  co_await network.Transfer(slot.node, client, cost.header_bytes + value_bytes);
+  race->Settle(std::move(result));
+}
+
+}  // namespace
 
 KvCluster::KvCluster(sim::Simulation& sim, net::Network& network,
                      std::vector<net::NodeId> server_nodes,
                      KvServerConfig server_config, KvOpCostModel cost_model,
-                     MetricsRegistry* metrics)
+                     MetricsRegistry* metrics, KvClientPolicy policy)
     : sim_(sim), network_(network), cost_(cost_model),
-      server_config_(server_config), metrics_(metrics) {
+      server_config_(server_config), metrics_(metrics), policy_(policy),
+      rng_(policy.rng_seed) {
   for (net::NodeId node : server_nodes) {
     (void)AddServer(node);
   }
@@ -23,157 +151,140 @@ std::uint32_t KvCluster::AddServer(net::NodeId node) {
   slot.node = node;
   slot.state = std::make_unique<KvServer>(server_config_);
   slot.workers = std::make_unique<sim::Semaphore>(sim_, cost_.workers);
+  slot.breaker = CircuitBreaker(policy_.breaker);
   servers_.push_back(std::move(slot));
   return static_cast<std::uint32_t>(servers_.size() - 1);
 }
 
-namespace {
-
-// Awaits an operation's future and records the client-observed latency.
 template <typename T>
-sim::Task RecordKvLatency(sim::Future<T> future, sim::Simulation* sim,
-                          LatencyHistogram* histogram, sim::SimTime start) {
-  (void)co_await future;
-  histogram->Record(sim->now() - start);
-}
-
-// One mutation round trip: ship key+value to the server, process under a
-// worker slot, return a small acknowledgement.
-sim::Task RunMutation(sim::Simulation& sim, net::Network& network,
-                      KvCluster::ServerSlotAccess slot, net::NodeId client,
-                      std::uint64_t request_bytes, sim::SimTime service_time,
-                      std::function<Status()> apply,
-                      sim::Promise<Status> done,
-                      std::uint64_t ack_bytes, sim::SimTime failure_timeout) {
-  co_await network.Transfer(client, slot.node, request_bytes);
-  if (*slot.down) {
-    co_await sim.Delay(failure_timeout);
-    done.Set(status::Unavailable("server down"));
-    co_return;
+sim::Task KvCluster::RunWithRetry(
+    std::uint32_t server,
+    std::function<void(std::shared_ptr<RaceState<T>>)> launch,
+    sim::Promise<T> done) {
+  auto& slot = servers_[server];
+  RetryState retry(policy_.retry, sim_.now());
+  T result = ErrorResult<T>(status::Unavailable("no attempt made"));
+  while (true) {
+    if (!slot.breaker.AllowRequest(sim_.now())) {
+      ++stats_.breaker_fast_fails;
+      if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_fast_fails");
+      result = ErrorResult<T>(status::Unavailable("circuit breaker open"));
+    } else {
+      auto race = std::make_shared<RaceState<T>>(sim_);
+      auto attempt = race->promise.GetFuture();
+      launch(race);
+      if (policy_.op_deadline > 0) {
+        RunDeadline<T>(sim_, race, policy_.op_deadline);
+      }
+      result = co_await attempt;
+      const Status status = StatusOf(result);
+      if (status.ok() || !IsRetryable(status.code())) {
+        slot.breaker.RecordSuccess();
+      } else {
+        const std::uint64_t opens_before = slot.breaker.open_transitions();
+        slot.breaker.RecordFailure(sim_.now());
+        if (slot.breaker.open_transitions() != opens_before) {
+          ++stats_.breaker_opens;
+          if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_opens");
+        }
+        if (status.code() == ErrorCode::kDeadlineExceeded) {
+          ++stats_.deadline_exceeded;
+          if (metrics_ != nullptr) ++metrics_->Counter("kv.deadline_exceeded");
+        }
+      }
+    }
+    const Status status = StatusOf(result);
+    if (status.ok() || !IsRetryable(status.code())) break;
+    const RetryState::Backoff backoff = retry.NextBackoff(rng_, sim_.now());
+    if (!backoff.allowed) break;
+    ++stats_.retries;
+    if (metrics_ != nullptr) ++metrics_->Counter("kv.retries");
+    co_await sim_.Delay(backoff.nanos);
   }
-  co_await slot.workers->Acquire();
-  co_await sim.Delay(service_time);
-  Status status = apply();
-  slot.workers->Release();
-  co_await network.Transfer(slot.node, client, ack_bytes);
-  done.Set(std::move(status));
+  done.Set(std::move(result));
 }
 
-}  // namespace
-
-sim::Future<Status> KvCluster::Set(net::NodeId client, std::uint32_t server,
-                                   std::string key, Bytes value) {
+sim::Future<Status> KvCluster::Mutate(net::NodeId client, std::uint32_t server,
+                                      std::uint64_t request_bytes,
+                                      sim::SimTime service,
+                                      std::function<Status()> apply,
+                                      const char* metric) {
   auto& slot = servers_[server];
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
+  // The apply closure is shared across attempts but invoked at most once per
+  // operation: every retryable failure happens before the commit point.
+  auto shared_apply =
+      std::make_shared<std::function<Status()>>(std::move(apply));
+  const ServerSlotAccess access = AccessOf(slot);
+  RunWithRetry<Status>(
+      server,
+      [this, access, client, request_bytes, service,
+       shared_apply](std::shared_ptr<RaceState<Status>> race) {
+        RunMutationAttempt(sim_, network_, access, client, request_bytes,
+                           service, shared_apply, std::move(race),
+                           cost_.header_bytes, cost_.failure_timeout);
+      },
+      std::move(done));
+  if (metrics_ != nullptr) {
+    RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now());
+  }
+  return future;
+}
+
+sim::Future<Status> KvCluster::Set(net::NodeId client, std::uint32_t server,
+                                   std::string key, Bytes value) {
+  auto* state = servers_[server].state.get();
   const std::uint64_t request =
       cost_.header_bytes + key.size() + value.StoredSize();
   const sim::SimTime service =
       ServiceTime(cost_.set_base, cost_.set_ns_per_byte, value.StoredSize());
-  auto* state = slot.state.get();
-  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
-              service,
-              [state, key = std::move(key), value = std::move(value)]() mutable {
-                return state->Set(key, std::move(value));
-              },
-              std::move(done), cost_.header_bytes, cost_.failure_timeout);
-  if (metrics_ != nullptr) {
-    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.set"), sim_.now());
-  }
-  return future;
+  return Mutate(client, server, request, service,
+                [state, key = std::move(key),
+                 value = std::move(value)]() mutable {
+                  return state->Set(key, std::move(value));
+                },
+                "kv.set");
 }
 
 sim::Future<Status> KvCluster::Add(net::NodeId client, std::uint32_t server,
                                    std::string key, Bytes value) {
-  auto& slot = servers_[server];
-  sim::Promise<Status> done(sim_);
-  auto future = done.GetFuture();
+  auto* state = servers_[server].state.get();
   const std::uint64_t request =
       cost_.header_bytes + key.size() + value.StoredSize();
   const sim::SimTime service =
       ServiceTime(cost_.set_base, cost_.set_ns_per_byte, value.StoredSize());
-  auto* state = slot.state.get();
-  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
-              service,
-              [state, key = std::move(key), value = std::move(value)]() mutable {
-                return state->Add(key, std::move(value));
-              },
-              std::move(done), cost_.header_bytes, cost_.failure_timeout);
-  if (metrics_ != nullptr) {
-    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.add"), sim_.now());
-  }
-  return future;
+  return Mutate(client, server, request, service,
+                [state, key = std::move(key),
+                 value = std::move(value)]() mutable {
+                  return state->Add(key, std::move(value));
+                },
+                "kv.add");
 }
 
 sim::Future<Status> KvCluster::Append(net::NodeId client, std::uint32_t server,
                                       std::string key, Bytes suffix) {
-  auto& slot = servers_[server];
-  sim::Promise<Status> done(sim_);
-  auto future = done.GetFuture();
+  auto* state = servers_[server].state.get();
   const std::uint64_t request =
       cost_.header_bytes + key.size() + suffix.StoredSize();
   const sim::SimTime service = ServiceTime(
       cost_.append_base, cost_.append_ns_per_byte, suffix.StoredSize());
-  auto* state = slot.state.get();
-  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
-              service,
-              [state, key = std::move(key),
-               suffix = std::move(suffix)]() mutable {
-                return state->Append(key, suffix);
-              },
-              std::move(done), cost_.header_bytes, cost_.failure_timeout);
-  if (metrics_ != nullptr) {
-    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.append"),
-                    sim_.now());
-  }
-  return future;
+  return Mutate(client, server, request, service,
+                [state, key = std::move(key),
+                 suffix = std::move(suffix)]() mutable {
+                  return state->Append(key, suffix);
+                },
+                "kv.append");
 }
 
 sim::Future<Status> KvCluster::Delete(net::NodeId client, std::uint32_t server,
                                       std::string key) {
-  auto& slot = servers_[server];
-  sim::Promise<Status> done(sim_);
-  auto future = done.GetFuture();
+  auto* state = servers_[server].state.get();
   const std::uint64_t request = cost_.header_bytes + key.size();
-  auto* state = slot.state.get();
-  RunMutation(sim_, network_, {slot.node, slot.workers.get(), &slot.down}, client, request,
-              cost_.delete_base,
-              [state, key = std::move(key)] { return state->Delete(key); },
-              std::move(done), cost_.header_bytes, cost_.failure_timeout);
-  if (metrics_ != nullptr) {
-    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.delete"),
-                    sim_.now());
-  }
-  return future;
+  return Mutate(client, server, request, cost_.delete_base,
+                [state, key = std::move(key)] { return state->Delete(key); },
+                "kv.delete");
 }
-
-namespace {
-
-sim::Task RunGet(sim::Simulation& sim, net::Network& network,
-                 KvCluster::ServerSlotAccess slot, net::NodeId client,
-                 std::uint64_t request_bytes, const KvOpCostModel& cost,
-                 KvServer* state, std::string key,
-                 sim::Promise<Result<Bytes>> done, sim::SimTime timeout) {
-  co_await network.Transfer(client, slot.node, request_bytes);
-  if (*slot.down) {
-    co_await sim.Delay(timeout);
-    done.Set(Result<Bytes>(status::Unavailable("server down")));
-    co_return;
-  }
-  co_await slot.workers->Acquire();
-  Result<Bytes> result = state->Get(key);
-  const std::uint64_t value_bytes =
-      result.ok() ? result.value().StoredSize() : 0;
-  co_await sim.Delay(cost.get_base +
-                     static_cast<sim::SimTime>(
-                         cost.get_ns_per_byte *
-                         static_cast<double>(value_bytes)));
-  slot.workers->Release();
-  co_await network.Transfer(slot.node, client, cost.header_bytes + value_bytes);
-  done.Set(std::move(result));
-}
-
-}  // namespace
 
 sim::Future<Result<Bytes>> KvCluster::Get(net::NodeId client,
                                           std::uint32_t server,
@@ -182,21 +293,40 @@ sim::Future<Result<Bytes>> KvCluster::Get(net::NodeId client,
   sim::Promise<Result<Bytes>> done(sim_);
   auto future = done.GetFuture();
   const std::uint64_t request = cost_.header_bytes + key.size();
-  RunGet(sim_, network_, {slot.node, slot.workers.get(), &slot.down},
-         client, request, cost_, slot.state.get(), std::move(key),
-         std::move(done), cost_.failure_timeout);
+  auto* state = slot.state.get();
+  const ServerSlotAccess access = AccessOf(slot);
+  auto shared_key = std::make_shared<std::string>(std::move(key));
+  RunWithRetry<Result<Bytes>>(
+      server,
+      [this, access, client, request, state,
+       shared_key](std::shared_ptr<RaceState<Result<Bytes>>> race) {
+        RunGetAttempt(sim_, network_, access, client, request, cost_, state,
+                      *shared_key, std::move(race));
+      },
+      std::move(done));
   if (metrics_ != nullptr) {
     RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.get"), sim_.now());
   }
   return future;
 }
 
-void KvCluster::SetServerDown(std::uint32_t index, bool down) {
-  servers_[index].down = down;
+void KvCluster::SetServerDown(std::uint32_t index, bool down,
+                              bool wipe_on_restart) {
+  auto& slot = servers_[index];
+  if (!down && wipe_on_restart) slot.state->Clear();
+  slot.down = down;
 }
 
 bool KvCluster::IsServerDown(std::uint32_t index) const {
   return servers_[index].down;
+}
+
+void KvCluster::SetServerSlowdown(std::uint32_t index, double factor) {
+  servers_[index].slow_factor = factor <= 0.0 ? 1.0 : factor;
+}
+
+double KvCluster::ServerSlowdown(std::uint32_t index) const {
+  return servers_[index].slow_factor;
 }
 
 std::uint64_t KvCluster::total_memory_used() const {

@@ -7,16 +7,29 @@
 // and every operation moves `header_bytes` of framing in addition to key and
 // value bytes — which is why 1 KB-file workloads are latency-bound while
 // 128 MB-file workloads are bandwidth-bound.
+//
+// Fault handling (the robustness extension): every operation runs under the
+// client policy — bounded retries with decorrelated-jitter backoff, an
+// optional per-attempt deadline that catches slow (not just dead) servers
+// and lost messages, and a per-server circuit breaker so clients skip a
+// known-bad server instead of paying the failure timeout on every stripe.
+// Deadline semantics are gRPC-like: cancellation propagates to the server,
+// so a request that misses its deadline is never applied — which is what
+// makes retrying non-idempotent ADD/APPEND safe. Once the server commits,
+// the client waits for the acknowledgement.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/metrics.h"
+#include "common/retry.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "kvstore/kv_server.h"
@@ -24,8 +37,14 @@
 #include "sim/future.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
+#include "sim/task.h"
 
 namespace memfs::kv {
+
+// First-write-wins outcome slot shared by one attempt and its deadline
+// watchdog (defined in kv_cluster.cc).
+template <typename T>
+struct RaceState;
 
 struct KvOpCostModel {
   // Server-side service time = base + size * ns_per_byte.
@@ -45,6 +64,27 @@ struct KvOpCostModel {
   sim::SimTime failure_timeout = units::Millis(1);
 };
 
+// Client-side fault-handling knobs, applied uniformly to every operation.
+struct KvClientPolicy {
+  RetryPolicy retry;
+  CircuitBreakerConfig breaker;
+  // Per-attempt deadline covering queueing, the request leg and service time
+  // up to the server's commit point; 0 disables. A lost or slow request
+  // surfaces as DEADLINE_EXCEEDED (retryable) instead of hanging.
+  sim::SimTime op_deadline = 0;
+  // Seed of the backoff-jitter stream (fixed default: healthy runs draw
+  // nothing, faulty runs are reproducible).
+  std::uint64_t rng_seed = 0x6b76726574727931ull;
+};
+
+// Client-observed fault-handling activity, aggregated over all servers.
+struct KvClusterStats {
+  std::uint64_t retries = 0;             // backoff-then-retry transitions
+  std::uint64_t deadline_exceeded = 0;   // attempts cut off by the deadline
+  std::uint64_t breaker_opens = 0;       // closed/half-open -> open trips
+  std::uint64_t breaker_fast_fails = 0;  // requests rejected while open
+};
+
 class KvCluster {
  public:
   // Lightweight view handed to the protocol coroutines (the slot itself
@@ -53,14 +93,15 @@ class KvCluster {
     net::NodeId node;
     sim::Semaphore* workers;
     const bool* down;
+    const double* slow_factor;
   };
 
   // `metrics` (optional, caller-owned) records kv.set/get/append/delete
-  // latency histograms as observed by clients.
+  // latency histograms as observed by clients, plus kv.* fault counters.
   KvCluster(sim::Simulation& sim, net::Network& network,
             std::vector<net::NodeId> server_nodes,
             KvServerConfig server_config = {}, KvOpCostModel cost_model = {},
-            MetricsRegistry* metrics = nullptr);
+            MetricsRegistry* metrics = nullptr, KvClientPolicy policy = {});
 
   std::uint32_t server_count() const {
     return static_cast<std::uint32_t>(servers_.size());
@@ -73,6 +114,8 @@ class KvCluster {
     return servers_[index].node;
   }
   const KvOpCostModel& cost_model() const { return cost_; }
+  const KvClientPolicy& client_policy() const { return policy_; }
+  const KvClusterStats& stats() const { return stats_; }
 
   // All operations are addressed by server index (the caller's Distributor
   // picks the index) and carry the issuing client's node for the network leg.
@@ -91,10 +134,25 @@ class KvCluster {
   std::uint64_t total_memory_used() const;
 
   // Failure injection: a down server answers nothing; clients time out with
-  // UNAVAILABLE after `failure_timeout`. Stored data is retained (the
-  // process is gone but the experiment may bring it back).
-  void SetServerDown(std::uint32_t index, bool down);
+  // UNAVAILABLE after `failure_timeout` (or DEADLINE_EXCEEDED when an op
+  // deadline is armed and shorter). Bringing a server back with
+  // `wipe_on_restart` drops its stored data — a Memcached process restart
+  // loses RAM — so recovery paths (failover reads, read repair) are actually
+  // exercised; without it the "restart" models an un-partitioned comeback.
+  void SetServerDown(std::uint32_t index, bool down,
+                     bool wipe_on_restart = false);
   bool IsServerDown(std::uint32_t index) const;
+
+  // Slow-server episode: multiplies every service time on the server
+  // (1.0 = healthy). With an op deadline armed, a slow-enough server times
+  // out exactly like a dead one — but keeps consuming worker slots.
+  void SetServerSlowdown(std::uint32_t index, double factor);
+  double ServerSlowdown(std::uint32_t index) const;
+
+  // Circuit-breaker visibility (tests, harness reporting).
+  CircuitBreaker::State BreakerState(std::uint32_t index) const {
+    return servers_[index].breaker.state();
+  }
 
   // Elastic scale-out (the paper's future work, §5): registers a new, empty
   // server on `node` and returns its index. Existing slots stay valid.
@@ -106,6 +164,8 @@ class KvCluster {
     std::unique_ptr<KvServer> state;
     std::unique_ptr<sim::Semaphore> workers;
     bool down = false;
+    double slow_factor = 1.0;
+    CircuitBreaker breaker;
   };
 
   sim::SimTime ServiceTime(sim::SimTime base, double ns_per_byte,
@@ -114,11 +174,35 @@ class KvCluster {
                                             static_cast<double>(bytes));
   }
 
+  ServerSlotAccess AccessOf(ServerSlot& slot) const {
+    return {slot.node, slot.workers.get(), &slot.down, &slot.slow_factor};
+  }
+
+  // Retry driver: runs `launch` attempts (each writing into a fresh race
+  // slot) under the client policy until success, a non-retryable status, or
+  // exhaustion. T is Status or Result<Bytes>.
+  template <typename T>
+  sim::Task RunWithRetry(std::uint32_t server,
+                         std::function<void(std::shared_ptr<RaceState<T>>)>
+                             launch,
+                         sim::Promise<T> done);
+
+  // Shared front half of Set/Add/Append/Delete: wraps `apply` (already bound
+  // to the server state, key and value) in the retry driver and records the
+  // client-observed latency under `metric`.
+  sim::Future<Status> Mutate(net::NodeId client, std::uint32_t server,
+                             std::uint64_t request_bytes, sim::SimTime service,
+                             std::function<Status()> apply,
+                             const char* metric);
+
   sim::Simulation& sim_;
   net::Network& network_;
   KvOpCostModel cost_;
   KvServerConfig server_config_;  // template for servers added later
   MetricsRegistry* metrics_;
+  KvClientPolicy policy_;
+  Rng rng_;
+  KvClusterStats stats_;
   // deque: growing the cluster must not invalidate references held by
   // in-flight operations.
   std::deque<ServerSlot> servers_;

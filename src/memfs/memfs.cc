@@ -85,9 +85,11 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
     done.Set(std::move(status));
     co_return;
   }
-  // All replicas written in parallel; the write succeeds only if every
+  // All replicas written in parallel. Strict mode succeeds only if every
   // replica acknowledges (a down replica fails the write — the paper's
-  // stated cost of replication, which is why it defaults off).
+  // stated cost of replication, which is why it defaults off). Degraded mode
+  // tolerates unreachable replicas as long as one copy lands; read repair
+  // reinstalls the skipped copies once their server is back.
   std::vector<sim::Future<Status>> futures;
   futures.reserve(replicas);
   for (std::uint32_t r = 0; r < replicas; ++r) {
@@ -95,10 +97,31 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
     futures.push_back(append ? storage_.Append(node, server, key, value)
                              : storage_.Set(node, server, key, value));
   }
+  std::uint32_t acks = 0;
   Status first_error;
+  bool all_errors_retryable = true;
   for (auto& future : futures) {
     Status status = co_await future;
-    if (!status.ok() && first_error.ok()) first_error = status;
+    if (status.ok()) {
+      ++acks;
+    } else {
+      if (first_error.ok()) first_error = status;
+      if (!IsRetryable(status.code())) all_errors_retryable = false;
+    }
+  }
+  if (acks == replicas) {
+    done.Set(Status::Ok());
+    co_return;
+  }
+  // Only availability errors are forgivable; a replica that answered with a
+  // real error (NO_SPACE, NOT_FOUND on append...) still fails the write.
+  if (acks > 0 && config_.degraded_writes && all_errors_retryable) {
+    ++stats_.degraded_writes;
+    if (config_.metrics != nullptr) {
+      ++config_.metrics->Counter("fs.degraded_writes");
+    }
+    done.Set(Status::Ok());
+    co_return;
   }
   done.Set(std::move(first_error));
 }
@@ -120,6 +143,42 @@ sim::Future<Status> MemFs::ReplicatedAppend(std::uint32_t epoch,
   auto future = done.GetFuture();
   RunReplicatedMutation(epoch, node, std::move(key), std::move(suffix),
                         /*append=*/true, std::move(done));
+  return future;
+}
+
+sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
+                                  std::string key, Bytes value,
+                                  sim::Promise<Status> done) {
+  const std::uint32_t replicas = ReplicaCount(epoch);
+  // Strict mode keeps the original semantics: the record's home server alone
+  // arbitrates ADD.
+  const std::uint32_t tries = config_.degraded_writes ? replicas : 1;
+  Status last = status::Unavailable("no replicas");
+  for (std::uint32_t r = 0; r < tries; ++r) {
+    last = co_await storage_.Add(node, ReplicaServer(epoch, key, r), key,
+                                 value);
+    if (last.ok()) {
+      if (r > 0) {
+        ++stats_.write_failovers;
+        if (config_.metrics != nullptr) {
+          ++config_.metrics->Counter("fs.write_failovers");
+        }
+      }
+      break;
+    }
+    // A reachable replica's verdict (e.g. EXISTS) stands; only availability
+    // errors justify moving down the chain.
+    if (!IsRetryable(last.code())) break;
+  }
+  done.Set(std::move(last));
+}
+
+sim::Future<Status> MemFs::ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
+                                         std::string key, Bytes value) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  RunReplicatedAdd(epoch, node, std::move(key), std::move(value),
+                   std::move(done));
   return future;
 }
 
@@ -156,16 +215,64 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
                                 std::string key,
                                 sim::Promise<Result<Bytes>> done) {
   const std::uint32_t replicas = ReplicaCount(epoch);
-  Result<Bytes> last = status::Unavailable("no replicas");
-  for (std::uint32_t r = 0; r < replicas; ++r) {
-    last = co_await storage_.Get(node, ReplicaServer(epoch, key, r), key);
-    if (last.ok()) {
-      if (r > 0) ++stats_.replica_failovers;
-      break;
+  const std::uint32_t passes =
+      std::max<std::uint32_t>(config_.read_chain_attempts, 1);
+  Status unreachable;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::uint32_t not_found = 0;
+    std::vector<std::uint32_t> missing;  // reachable replicas lacking the key
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      const std::uint32_t server = ReplicaServer(epoch, key, r);
+      Result<Bytes> got = co_await storage_.Get(node, server, key);
+      if (got.ok()) {
+        if (r > 0) {
+          ++stats_.replica_failovers;
+          if (config_.metrics != nullptr) {
+            ++config_.metrics->Counter("fs.replica_failovers");
+          }
+          // Read repair: a replica that answered NOT_FOUND is reachable but
+          // lost its copy (wipe-on-restart); reinstall it in the background.
+          for (std::uint32_t target : missing) {
+            RunReadRepair(node, target, key, got.value());
+          }
+        }
+        done.Set(std::move(got));
+        co_return;
+      }
+      if (got.status().code() == ErrorCode::kNotFound) {
+        ++not_found;
+        missing.push_back(server);
+      } else {
+        unreachable = got.status();
+      }
     }
-    if (last.status().code() == ErrorCode::kNotFound) break;
+    if (not_found == replicas) {
+      // Every replica answered and none holds the key: definitively absent.
+      done.Set(Result<Bytes>(status::NotFound(key)));
+      co_return;
+    }
+    // Some replica was unreachable and may hold the only copy; run the chain
+    // again after an escalating delay (it may be restarting, or its breaker
+    // may be about to half-open).
+    if (pass + 1 < passes) {
+      co_await sim_.Delay(storage_.cost_model().failure_timeout * (pass + 1));
+    }
   }
-  done.Set(std::move(last));
+  done.Set(Result<Bytes>(
+      unreachable.ok() ? status::Unavailable("all replicas unreachable: " + key)
+                       : unreachable));
+}
+
+sim::Task MemFs::RunReadRepair(net::NodeId node, std::uint32_t server,
+                               std::string key, Bytes value) {
+  const Status status =
+      co_await storage_.Set(node, server, std::move(key), std::move(value));
+  if (status.ok()) {
+    ++stats_.read_repairs;
+    if (config_.metrics != nullptr) {
+      ++config_.metrics->Counter("fs.read_repairs");
+    }
+  }
 }
 
 sim::Future<Result<Bytes>> MemFs::FailoverGet(std::uint32_t epoch,
@@ -186,6 +293,16 @@ sim::Task RecordLatency(sim::Future<T> future, sim::Simulation* sim,
                         LatencyHistogram* histogram, sim::SimTime start) {
   (void)co_await future;
   histogram->Record(sim->now() - start);
+}
+
+// Maps a metadata lookup failure for the caller: NOT_FOUND gets the
+// user-facing path in its message, while availability errors (UNAVAILABLE,
+// DEADLINE_EXCEEDED) propagate unchanged so callers can distinguish "does
+// not exist" from "cannot currently tell".
+Status LookupError(const Result<Bytes>& record, const std::string& path) {
+  return record.status().code() == ErrorCode::kNotFound
+             ? status::NotFound(path)
+             : record.status();
 }
 
 }  // namespace
@@ -225,9 +342,8 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
   }
   // Register an unsealed file record; ADD makes concurrent double-create
   // lose deterministically (write-once implies a single writer).
-  Status added = co_await storage_.Add(
-      ctx.node, ServerFor(path), path,
-      meta::EncodeFile({0, false, current_epoch()}));
+  Status added = co_await ReplicatedAdd(
+      0, ctx.node, path, meta::EncodeFile({0, false, current_epoch()}));
   if (!added.ok()) {
     done.Set(added.code() == ErrorCode::kExists
                  ? status::Exists(path)
@@ -432,7 +548,7 @@ sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
   co_await fuse_.Enter(ctx.node, ctx.process);
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
   if (!record.ok()) {
-    done.Set(status::NotFound(path));
+    done.Set(LookupError(record, path));
     co_return;
   }
   auto decoded = meta::Decode(record.value());
@@ -523,9 +639,17 @@ sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
   for (std::size_t i = 0; i < spans.size(); ++i) {
     Result<Bytes> stripe = co_await futures[i];
     if (!stripe.ok()) {
-      done.Set(status::Internal("missing stripe " +
-                                std::to_string(spans[i].stripe) + " of " +
-                                file->path));
+      // Drop the failed fetch from the cache so a later read retries it
+      // instead of replaying the pinned failure after the server recovers.
+      file->cache.erase(spans[i].stripe);
+      auto& order = file->cache_order;
+      order.erase(std::remove(order.begin(), order.end(), spans[i].stripe),
+                  order.end());
+      done.Set(IsRetryable(stripe.status().code())
+                   ? stripe.status()
+                   : status::Internal("missing stripe " +
+                                      std::to_string(spans[i].stripe) +
+                                      " of " + file->path));
       co_return;
     }
     out.Append(
@@ -598,13 +722,13 @@ sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
     done.Set(status::InvalidArgument("bad path"));
     co_return;
   }
-  Status added =
-      co_await storage_.Add(ctx.node, ServerFor(path), path, meta::DirHeader());
+  Status added = co_await ReplicatedAdd(0, ctx.node, path, meta::DirHeader());
   if (!added.ok()) {
     done.Set(added);
     co_return;
   }
-  // Secondary replicas of the directory record (appends go to all).
+  // Secondary replicas of the directory record (appends go to all; a replica
+  // that is down stays empty until read repair finds it).
   for (std::uint32_t r = 1; r < ReplicaCount(0); ++r) {
     co_await storage_.Set(ctx.node, ReplicaServer(0, path, r), path,
                           meta::DirHeader());
@@ -633,7 +757,7 @@ sim::Task MemFs::DoReadDir(VfsContext ctx, std::string path,
   co_await fuse_.Enter(ctx.node, ctx.process);
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
   if (!record.ok()) {
-    done.Set(status::NotFound(path));
+    done.Set(LookupError(record, path));
     co_return;
   }
   auto decoded = meta::Decode(record.value());
@@ -667,7 +791,7 @@ sim::Task MemFs::DoStat(VfsContext ctx, std::string path,
   co_await fuse_.Enter(ctx.node, ctx.process);
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
   if (!record.ok()) {
-    done.Set(status::NotFound(path));
+    done.Set(LookupError(record, path));
     co_return;
   }
   auto decoded = meta::Decode(record.value());
@@ -702,7 +826,7 @@ sim::Task MemFs::DoRmdir(VfsContext ctx, std::string path,
   }
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
   if (!record.ok()) {
-    done.Set(status::NotFound(path));
+    done.Set(LookupError(record, path));
     co_return;
   }
   auto decoded = meta::Decode(record.value());
@@ -738,7 +862,7 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
   co_await fuse_.Enter(ctx.node, ctx.process);
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
   if (!record.ok()) {
-    done.Set(status::NotFound(path));
+    done.Set(LookupError(record, path));
     co_return;
   }
   auto decoded = meta::Decode(record.value());

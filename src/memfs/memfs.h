@@ -66,6 +66,18 @@ struct MemFsConfig {
   // to the next replica when a server is down. 1 = off (the paper's
   // evaluated configuration).
   std::uint32_t replication = 1;
+  // Graceful degradation (robustness extension). When true and
+  // replication > 1, a mutation succeeds as long as at least one replica
+  // acknowledges it (skipped replicas are reinstalled later by read repair),
+  // and CREATE/MKDIR fail over to the next replica when the record's home
+  // server is unreachable. When false, every replica must acknowledge —
+  // strict mode, the behaviour the paper's cost argument assumes.
+  bool degraded_writes = true;
+  // Full passes over the replica chain before a read gives up. A pass that
+  // proves the key absent (every replica reachable, none has it) returns
+  // NOT_FOUND immediately; only reads blocked by unreachable replicas are
+  // retried, with an escalating delay between passes.
+  std::uint32_t read_chain_attempts = 3;
   FuseConfig fuse;
   // Optional per-operation latency instrumentation (owned by the caller;
   // must outlive the file system). Records vfs.create/open/read/write/
@@ -85,6 +97,14 @@ struct MemFsStats {
   std::uint64_t cache_misses = 0;
   // Reads answered by a non-primary replica after a failure (replication>1).
   std::uint64_t replica_failovers = 0;
+  // Mutations acknowledged by only a subset of replicas (degraded mode).
+  std::uint64_t degraded_writes = 0;
+  // CREATE/MKDIR records placed on a secondary because the primary was
+  // unreachable (degraded mode).
+  std::uint64_t write_failovers = 0;
+  // Copies reinstalled on a reachable replica that had lost them (e.g. a
+  // wipe-on-restart) after a failover read found the data elsewhere.
+  std::uint64_t read_repairs = 0;
 };
 
 class MemFs final : public Vfs {
@@ -172,6 +192,11 @@ class MemFs final : public Vfs {
   // (metadata uses 0, stripes their file's epoch).
   sim::Future<Status> ReplicatedSet(std::uint32_t epoch, net::NodeId node,
                                     std::string key, Bytes value);
+  // ADD with failover: tries replicas in ring order until one is reachable;
+  // that replica's verdict (OK or EXISTS) decides. Degraded mode only — in
+  // strict mode the primary alone is tried.
+  sim::Future<Status> ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
+                                    std::string key, Bytes value);
   sim::Future<Status> ReplicatedAppend(std::uint32_t epoch, net::NodeId node,
                                        std::string key, Bytes suffix);
   sim::Future<Status> ReplicatedDelete(std::uint32_t epoch, net::NodeId node,
@@ -184,11 +209,17 @@ class MemFs final : public Vfs {
   sim::Task RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
                                   std::string key, Bytes value, bool append,
                                   sim::Promise<Status> done);
+  sim::Task RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
+                             std::string key, Bytes value,
+                             sim::Promise<Status> done);
   sim::Task RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                 std::string key, sim::Promise<Status> done);
   sim::Task RunFailoverGet(std::uint32_t epoch, net::NodeId node,
                            std::string key,
                            sim::Promise<Result<Bytes>> done);
+  // Fire-and-forget reinstall of a copy that a failover read found missing.
+  sim::Task RunReadRepair(net::NodeId node, std::uint32_t server,
+                          std::string key, Bytes value);
 
   Result<OpenFile*> FindHandle(FileHandle handle, bool writing);
 

@@ -45,8 +45,12 @@ sim::VoidFuture FluidNetwork::Transfer(NodeId src, NodeId dst,
   total_bytes_ += bytes;
 
   const bool local = src == dst;
-  const sim::SimTime latency =
+  sim::SimTime latency =
       local ? config_.local_latency : config_.remote_latency;
+  if (!link_faults_.empty()) {
+    const auto fault = link_faults_.find(LinkKey(src, dst));
+    if (fault != link_faults_.end()) latency += fault->second.extra_latency;
+  }
 
   if (bytes == 0) {
     sim_.Schedule(latency, [promise]() mutable { promise.Set(sim::Done{}); });
@@ -73,6 +77,27 @@ sim::VoidFuture FluidNetwork::Transfer(NodeId src, NodeId dst,
     Activate(id, std::move(flow));
   });
   return future;
+}
+
+void FluidNetwork::SetLinkFault(NodeId src, NodeId dst, LinkFault fault) {
+  link_faults_[LinkKey(src, dst)] = fault;
+}
+
+void FluidNetwork::ClearLinkFault(NodeId src, NodeId dst) {
+  link_faults_.erase(LinkKey(src, dst));
+}
+
+bool FluidNetwork::DropMessage(NodeId src, NodeId dst) {
+  if (link_faults_.empty()) return false;
+  const auto fault = link_faults_.find(LinkKey(src, dst));
+  if (fault == link_faults_.end() || fault->second.loss_prob <= 0.0) {
+    return false;
+  }
+  // One deterministic draw per message on a lossy link only, so arming the
+  // machinery does not perturb healthy runs.
+  if (fault_rng_.NextDouble() >= fault->second.loss_prob) return false;
+  ++dropped_;
+  return true;
 }
 
 void FluidNetwork::Activate(std::uint64_t id, Flow flow) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/network.h"
 #include "sim/future.h"
 #include "sim/simulation.h"
@@ -35,6 +36,15 @@ class FluidNetwork : public Network {
   }
   std::uint64_t total_bytes() const override { return total_bytes_; }
   std::size_t active_flows() const override { return active_.size(); }
+
+  // Fault injection: per-link loss and latency spikes (see network.h).
+  void SetLinkFault(NodeId src, NodeId dst, LinkFault fault) override;
+  void ClearLinkFault(NodeId src, NodeId dst) override;
+  bool DropMessage(NodeId src, NodeId dst) override;
+  std::uint64_t dropped_messages() const override { return dropped_; }
+  // Reseeds the loss-decision stream (defaults to a fixed seed; chaos
+  // harnesses reseed per experiment for decorrelated runs).
+  void SeedFaultRng(std::uint64_t seed) { fault_rng_ = Rng(seed); }
 
  protected:
   using ResourceId = std::uint32_t;
@@ -70,6 +80,10 @@ class FluidNetwork : public Network {
   void FinishDueFlows();
   void ScheduleNextCompletion();
 
+  static std::uint64_t LinkKey(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
   std::vector<double> capacity_;       // per resource, bytes/sec
   std::vector<std::uint32_t> counts_;  // active flows per resource
   std::vector<std::uint64_t> sent_;
@@ -78,6 +92,10 @@ class FluidNetwork : public Network {
   std::uint64_t next_flow_id_ = 1;
   std::uint64_t completion_generation_ = 0;
   sim::SimTime last_advance_ = 0;
+
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
+  Rng fault_rng_{0x4661756c747321ull};
+  std::uint64_t dropped_ = 0;
 };
 
 // Each resource divides its capacity evenly among its flows; a flow's rate is

@@ -27,6 +27,14 @@ namespace memfs::net {
 
 using NodeId = std::uint32_t;
 
+// Transient perturbation of one directed link (fault injection): requests on
+// the link are lost with `loss_prob`, and surviving messages pay
+// `extra_latency` on top of the configured one-way latency.
+struct LinkFault {
+  double loss_prob = 0.0;
+  sim::SimTime extra_latency = 0;
+};
+
 struct NetworkConfig {
   std::uint32_t nodes = 1;
   // Per-NIC capacity, each direction (full duplex), bytes/second.
@@ -61,6 +69,28 @@ class Network {
 
   // Number of flows currently in progress (diagnostics, tests).
   virtual std::size_t active_flows() const = 0;
+
+  // --- Fault injection (optional; default implementation is a healthy
+  // fabric). Faults are keyed by directed link, so an injector can degrade
+  // exactly the paths touching one server.
+  virtual void SetLinkFault(NodeId src, NodeId dst, LinkFault fault) {
+    (void)src; (void)dst; (void)fault;
+  }
+  virtual void ClearLinkFault(NodeId src, NodeId dst) { (void)src; (void)dst; }
+
+  // Decides — deterministically, via the network's seeded Rng — whether a
+  // message sent now on src->dst is lost. Callers (the kv client) consult
+  // this before Transfer: a dropped request never reaches the server and
+  // surfaces as a client-side deadline. Draws randomness only on links with
+  // an active fault, so healthy runs stay bit-identical with or without the
+  // machinery.
+  virtual bool DropMessage(NodeId src, NodeId dst) {
+    (void)src; (void)dst;
+    return false;
+  }
+
+  // Total messages reported lost by DropMessage (diagnostics).
+  virtual std::uint64_t dropped_messages() const { return 0; }
 };
 
 // Topology presets matching the paper's three environments (§4).

@@ -1,0 +1,197 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace memfs::sim {
+
+std::string ToString(const FaultEvent& event) {
+  std::ostringstream os;
+  const double start_ms = static_cast<double>(event.start) / 1e6;
+  const double duration_ms = static_cast<double>(event.duration) / 1e6;
+  switch (event.kind) {
+    case FaultKind::kServerCrash:
+      os << "crash server=" << event.server
+         << (event.wipe_on_restart ? " (wipe)" : " (keep data)");
+      break;
+    case FaultKind::kServerSlow:
+      os << "slow server=" << event.server << " x" << event.slow_factor;
+      break;
+    case FaultKind::kLinkFault:
+      os << "link " << event.src << "->" << event.dst
+         << " loss=" << event.loss_prob
+         << " +latency=" << static_cast<double>(event.extra_latency) / 1e6
+         << "ms";
+      break;
+  }
+  os << " @" << start_ms << "ms for " << duration_ms << "ms";
+  return os.str();
+}
+
+std::vector<FaultEvent> GenerateFaultSchedule(
+    const FaultScheduleConfig& config) {
+  Rng rng(config.seed);
+  std::vector<FaultEvent> events;
+  events.reserve(config.crashes + config.slow_episodes + config.link_faults);
+
+  const auto uniform_time = [&rng](SimTime lo, SimTime hi) {
+    return lo >= hi ? lo : rng.Range(lo, hi);
+  };
+  const auto uniform_double = [&rng](double lo, double hi) {
+    return lo + (hi - lo) * rng.NextDouble();
+  };
+
+  for (std::uint32_t i = 0; i < config.crashes; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kServerCrash;
+    event.server = static_cast<std::uint32_t>(rng.Below(config.servers));
+    event.start = uniform_time(0, config.horizon > 0 ? config.horizon - 1 : 0);
+    event.duration =
+        uniform_time(config.crash_min_duration, config.crash_max_duration);
+    event.wipe_on_restart = config.wipe_on_restart;
+    events.push_back(event);
+  }
+  for (std::uint32_t i = 0; i < config.slow_episodes; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kServerSlow;
+    event.server = static_cast<std::uint32_t>(rng.Below(config.servers));
+    event.start = uniform_time(0, config.horizon > 0 ? config.horizon - 1 : 0);
+    event.duration =
+        uniform_time(config.slow_min_duration, config.slow_max_duration);
+    event.slow_factor =
+        uniform_double(config.slow_min_factor, config.slow_max_factor);
+    events.push_back(event);
+  }
+  for (std::uint32_t i = 0; i < config.link_faults; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kLinkFault;
+    event.src = static_cast<std::uint32_t>(rng.Below(config.nodes));
+    // Distinct endpoint: a loopback "link fault" would be a node fault.
+    event.dst = static_cast<std::uint32_t>(rng.Below(config.nodes));
+    if (event.dst == event.src) event.dst = (event.dst + 1) % config.nodes;
+    event.start = uniform_time(0, config.horizon > 0 ? config.horizon - 1 : 0);
+    event.duration =
+        uniform_time(config.link_min_duration, config.link_max_duration);
+    event.loss_prob = uniform_double(config.loss_min, config.loss_max);
+    event.extra_latency = uniform_time(0, config.link_extra_latency_max);
+    events.push_back(event);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start < b.start;
+                   });
+  return events;
+}
+
+FaultInjector::FaultInjector(Simulation& sim, FaultHooks hooks)
+    : sim_(sim), hooks_(std::move(hooks)) {}
+
+void FaultInjector::Schedule(const FaultEvent& event) {
+  horizon_ = std::max(horizon_, event.start + event.duration);
+  sim_.ScheduleAt(event.start, [this, event] { Apply(event); });
+  sim_.ScheduleAt(event.start + event.duration, [this, event] {
+    Revert(event);
+  });
+}
+
+void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
+  for (const FaultEvent& event : events) Schedule(event);
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kServerCrash: {
+      ++stats_.crashes;
+      if (event.wipe_on_restart) wipe_pending_[event.server] = true;
+      if (++down_depth_[event.server] == 1 && hooks_.set_server_down) {
+        hooks_.set_server_down(event.server, true, false);
+      }
+      break;
+    }
+    case FaultKind::kServerSlow:
+      ++stats_.slow_starts;
+      PushSlow(event.server, event.slow_factor);
+      break;
+    case FaultKind::kLinkFault: {
+      ++stats_.link_fault_starts;
+      link_stack_[LinkKeyOf(event.src, event.dst)].push_back(
+          {event.loss_prob, event.extra_latency});
+      ReapplyLink(LinkKeyOf(event.src, event.dst));
+      break;
+    }
+  }
+}
+
+void FaultInjector::Revert(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kServerCrash: {
+      if (--down_depth_[event.server] > 0) break;  // still crashed elsewhere
+      ++stats_.restarts;
+      const bool wipe = wipe_pending_[event.server];
+      wipe_pending_[event.server] = false;
+      if (wipe) ++stats_.wipes;
+      if (hooks_.set_server_down) {
+        hooks_.set_server_down(event.server, false, wipe);
+      }
+      break;
+    }
+    case FaultKind::kServerSlow:
+      ++stats_.slow_ends;
+      PopSlow(event.server, event.slow_factor);
+      break;
+    case FaultKind::kLinkFault: {
+      ++stats_.link_fault_ends;
+      auto& stack = link_stack_[LinkKeyOf(event.src, event.dst)];
+      const auto it = std::find_if(
+          stack.begin(), stack.end(), [&event](const LinkEpisode& episode) {
+            return episode.loss_prob == event.loss_prob &&
+                   episode.extra_latency == event.extra_latency;
+          });
+      if (it != stack.end()) stack.erase(it);
+      ReapplyLink(LinkKeyOf(event.src, event.dst));
+      break;
+    }
+  }
+}
+
+void FaultInjector::PushSlow(std::uint32_t server, double factor) {
+  auto& stack = slow_stack_[server];
+  stack.push_back(factor);
+  if (hooks_.set_server_slowdown) {
+    double product = 1.0;
+    for (double f : stack) product *= f;
+    hooks_.set_server_slowdown(server, product);
+  }
+}
+
+void FaultInjector::PopSlow(std::uint32_t server, double factor) {
+  auto& stack = slow_stack_[server];
+  const auto it = std::find(stack.begin(), stack.end(), factor);
+  if (it != stack.end()) stack.erase(it);
+  if (hooks_.set_server_slowdown) {
+    double product = 1.0;
+    for (double f : stack) product *= f;
+    hooks_.set_server_slowdown(server, product);
+  }
+}
+
+void FaultInjector::ReapplyLink(std::uint64_t key) {
+  const auto& stack = link_stack_[key];
+  const auto src = static_cast<std::uint32_t>(key >> 32);
+  const auto dst = static_cast<std::uint32_t>(key & 0xffffffffu);
+  if (stack.empty()) {
+    if (hooks_.clear_link_fault) hooks_.clear_link_fault(src, dst);
+    return;
+  }
+  double pass = 1.0;
+  SimTime extra = 0;
+  for (const LinkEpisode& episode : stack) {
+    pass *= 1.0 - episode.loss_prob;
+    extra += episode.extra_latency;
+  }
+  if (hooks_.set_link_fault) hooks_.set_link_fault(src, dst, 1.0 - pass, extra);
+}
+
+}  // namespace memfs::sim

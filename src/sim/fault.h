@@ -1,0 +1,161 @@
+// Deterministic fault-injection engine.
+//
+// A FaultInjector turns a declarative schedule of FaultEvents — transient
+// server crashes (optionally wiping data on restart), slow-server episodes,
+// and per-link loss/latency spikes — into timed apply/revert callbacks on the
+// simulation clock. The engine itself knows nothing about the kv cluster or
+// the network: the harness wires `FaultHooks` to whatever layer implements
+// each fault, which keeps sim/ free of upward dependencies.
+//
+// Overlapping events targeting the same server or link compose instead of
+// clobbering each other: crash episodes are reference-counted (the server
+// restarts when the last overlapping crash ends), slow factors multiply, and
+// link faults combine loss probabilities (1 - Π(1 - p_i)) and sum latency.
+//
+// Everything is reproducible: GenerateFaultSchedule draws from a seeded Rng,
+// the injector fires on the deterministic event queue, and stats let a
+// harness assert that two runs with the same seed saw the same faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace memfs::sim {
+
+enum class FaultKind : std::uint8_t {
+  kServerCrash,  // server answers nothing for `duration`, then restarts
+  kServerSlow,   // server service times multiplied by `slow_factor`
+  kLinkFault,    // directed link drops/delays messages
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kServerCrash;
+  SimTime start = 0;     // absolute simulated time
+  SimTime duration = 0;  // reverted at start + duration
+  // kServerCrash / kServerSlow target.
+  std::uint32_t server = 0;
+  // kServerCrash: restart as an empty process (Memcached loses RAM) instead
+  // of rejoining with its data intact.
+  bool wipe_on_restart = false;
+  // kServerSlow: service-time multiplier (> 1 = slower).
+  double slow_factor = 1.0;
+  // kLinkFault target (directed) and severity.
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double loss_prob = 0.0;
+  SimTime extra_latency = 0;
+};
+
+std::string ToString(const FaultEvent& event);
+
+// How each fault class is realized; unset hooks make that class a no-op.
+struct FaultHooks {
+  // down=true crashes the server; down=false restarts it (wipe=true drops
+  // its stored data — a process restart, not a live migration).
+  std::function<void(std::uint32_t server, bool down, bool wipe)>
+      set_server_down;
+  // factor is the product of all active slow episodes (1.0 = healthy).
+  std::function<void(std::uint32_t server, double factor)> set_server_slowdown;
+  std::function<void(std::uint32_t src, std::uint32_t dst, double loss_prob,
+                     SimTime extra_latency)>
+      set_link_fault;
+  std::function<void(std::uint32_t src, std::uint32_t dst)> clear_link_fault;
+};
+
+struct FaultInjectorStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t wipes = 0;
+  std::uint64_t slow_starts = 0;
+  std::uint64_t slow_ends = 0;
+  std::uint64_t link_fault_starts = 0;
+  std::uint64_t link_fault_ends = 0;
+
+  std::uint64_t total_events() const {
+    return crashes + restarts + wipes + slow_starts + slow_ends +
+           link_fault_starts + link_fault_ends;
+  }
+};
+
+// Knobs for GenerateFaultSchedule. Events start within [0, horizon); the
+// last revert lands at most `horizon + max episode length` later.
+struct FaultScheduleConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t servers = 8;  // crash/slow targets: [0, servers)
+  std::uint32_t nodes = 8;    // link endpoints: [0, nodes)
+  SimTime horizon = units::Millis(200);
+
+  std::uint32_t crashes = 3;
+  SimTime crash_min_duration = units::Millis(5);
+  SimTime crash_max_duration = units::Millis(20);
+  bool wipe_on_restart = true;
+
+  std::uint32_t slow_episodes = 2;
+  double slow_min_factor = 4.0;
+  double slow_max_factor = 32.0;
+  SimTime slow_min_duration = units::Millis(5);
+  SimTime slow_max_duration = units::Millis(20);
+
+  std::uint32_t link_faults = 0;
+  double loss_min = 0.05;
+  double loss_max = 0.5;
+  SimTime link_extra_latency_max = units::Millis(1);
+  SimTime link_min_duration = units::Millis(5);
+  SimTime link_max_duration = units::Millis(20);
+};
+
+// Draws a schedule deterministically from `config.seed`, sorted by start
+// time. Targets are uniform over servers/links; durations and severities
+// uniform over their configured ranges.
+std::vector<FaultEvent> GenerateFaultSchedule(const FaultScheduleConfig&
+                                                  config);
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulation& sim, FaultHooks hooks);
+
+  // Arms apply/revert timers for `event`. Call before Simulation::Run (or
+  // while running, for events in the future).
+  void Schedule(const FaultEvent& event);
+  void ScheduleAll(const std::vector<FaultEvent>& events);
+
+  const FaultInjectorStats& stats() const { return stats_; }
+  // Time at which the last scheduled fault has been reverted (the earliest
+  // moment the cluster is guaranteed healthy again).
+  SimTime horizon() const { return horizon_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  void Revert(const FaultEvent& event);
+  void PushSlow(std::uint32_t server, double factor);
+  void PopSlow(std::uint32_t server, double factor);
+  void ReapplyLink(std::uint64_t key);
+
+  static std::uint64_t LinkKeyOf(std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  struct LinkEpisode {
+    double loss_prob;
+    SimTime extra_latency;
+  };
+
+  Simulation& sim_;
+  FaultHooks hooks_;
+  FaultInjectorStats stats_;
+  SimTime horizon_ = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> down_depth_;
+  // Restart wipes if ANY overlapping crash episode asked for a wipe.
+  std::unordered_map<std::uint32_t, bool> wipe_pending_;
+  std::unordered_map<std::uint32_t, std::vector<double>> slow_stack_;
+  std::unordered_map<std::uint64_t, std::vector<LinkEpisode>> link_stack_;
+};
+
+}  // namespace memfs::sim

@@ -90,7 +90,7 @@ Testbed::Testbed(FsKind kind, TestbedConfig config)
     client_config.metrics = config_.metrics;
     storage_ = std::make_unique<kv::KvCluster>(
         sim_, *network_, std::move(server_nodes), server_config, costs,
-        config_.metrics);
+        config_.metrics, config_.kv_policy);
     memfs_ = std::make_unique<fs::MemFs>(sim_, *network_, *storage_,
                                          client_config);
   } else {

@@ -48,6 +48,9 @@ struct TestbedConfig {
   fs::MemFsConfig memfs;
   amfs::AmfsConfig amfs;
   kv::KvOpCostModel kv_costs;
+  // Client-side fault handling (retries, per-op deadline, circuit breaker);
+  // the default is inert on healthy runs.
+  kv::KvClientPolicy kv_policy;
   // Optional caller-owned latency instrumentation, attached to both the
   // storage layer (kv.*) and the MemFS client (vfs.*).
   MetricsRegistry* metrics = nullptr;

@@ -115,6 +115,24 @@ TEST(MetricsRegistryTest, ReportPrintsAllOperations) {
   EXPECT_NE(os.str().find("vfs.read"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, CountersAccumulateByName) {
+  MetricsRegistry registry;
+  registry.Counter("kv.retries") += 3;
+  ++registry.Counter("kv.retries");
+  registry.Counter("fs.read_repairs") = 2;
+  EXPECT_EQ(registry.CounterValue("kv.retries"), 4u);
+  EXPECT_EQ(registry.CounterValue("fs.read_repairs"), 2u);
+  EXPECT_EQ(registry.CounterValue("never.touched"), 0u);
+  EXPECT_EQ(registry.counters().size(), 2u);
+
+  // Nonzero counters show up in the report alongside the histograms.
+  registry.Histogram("kv.get").Record(units::Micros(10));
+  std::ostringstream os;
+  registry.Report(os);
+  EXPECT_NE(os.str().find("kv.retries"), std::string::npos);
+  EXPECT_NE(os.str().find("fs.read_repairs"), std::string::npos);
+}
+
 // --- End-to-end recording through the stack ---
 
 TEST(MetricsIntegrationTest, MemFsAndKvOpsRecorded) {

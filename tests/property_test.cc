@@ -4,6 +4,7 @@
 // determinism. These tests hammer invariants rather than single behaviours.
 #include <gtest/gtest.h>
 
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "kvstore/kv_cluster.h"
@@ -238,6 +239,67 @@ TEST(SystemDeterminismTest, FullStackRunsAreBitIdentical) {
                       network.total_bytes(), storage.total_memory_used()};
   };
   EXPECT_EQ(run(), run());
+}
+
+// --- Retry backoff schedule ------------------------------------------------
+//
+// Invariants of the decorrelated-jitter retry schedule, across many seeds:
+// bit-identical per seed, every backoff within [base, max_backoff], at most
+// max_attempts - 1 backoffs, and the cumulative sleep never reaches the
+// deadline budget.
+
+TEST(RetryBackoffProperty, DeterministicBoundedAndWithinBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff = units::Micros(100);
+  policy.max_backoff = units::Millis(5);
+  policy.deadline_budget = units::Millis(12);
+
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    // Worst case for the budget: every attempt fails instantly, so simulated
+    // time advances only by the backoffs themselves.
+    const auto run = [&policy](std::uint64_t s) {
+      Rng rng(s);
+      RetryState retry(policy, /*start_time=*/0);
+      std::vector<std::uint64_t> sleeps;
+      std::uint64_t now = 0;
+      while (true) {
+        const auto backoff = retry.NextBackoff(rng, now);
+        if (!backoff.allowed) break;
+        sleeps.push_back(backoff.nanos);
+        now += backoff.nanos;
+      }
+      return std::pair{sleeps, now};
+    };
+
+    const auto [sleeps, total] = run(seed);
+    EXPECT_EQ(sleeps, run(seed).first) << "seed " << seed;  // reproducible
+    EXPECT_LE(sleeps.size(), policy.max_attempts - 1u) << "seed " << seed;
+    EXPECT_LT(total, policy.deadline_budget) << "seed " << seed;
+    for (const std::uint64_t nanos : sleeps) {
+      EXPECT_GE(nanos, policy.base_backoff) << "seed " << seed;
+      EXPECT_LE(nanos, policy.max_backoff) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RetryBackoffProperty, UnlimitedBudgetExhaustsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.deadline_budget = 0;  // unlimited
+  Rng rng(7);
+  RetryState retry(policy, 0);
+  std::uint32_t backoffs = 0;
+  std::uint64_t now = 0;
+  while (true) {
+    const auto backoff = retry.NextBackoff(rng, now);
+    if (!backoff.allowed) break;
+    ++backoffs;
+    now += backoff.nanos;
+  }
+  // Attempts, not time, are the binding limit.
+  EXPECT_EQ(backoffs, policy.max_attempts - 1u);
+  EXPECT_EQ(retry.attempts_started(), policy.max_attempts);
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ class ReplicationTest : public ::testing::Test {
  protected:
   static constexpr std::uint32_t kNodes = 4;
 
-  void Recreate(std::uint32_t replication) {
+  void Recreate(std::uint32_t replication, bool degraded_writes = true) {
     fs_.reset();
     storage_.reset();
     network_.reset();
@@ -32,6 +32,7 @@ class ReplicationTest : public ::testing::Test {
         *sim_, *network_, std::vector<net::NodeId>{0, 1, 2, 3});
     MemFsConfig config;
     config.replication = replication;
+    config.degraded_writes = degraded_writes;
     fs_ = std::make_unique<MemFs>(*sim_, *network_, *storage_, config);
   }
 
@@ -149,12 +150,61 @@ TEST_F(ReplicationTest, MetadataSurvivesFailure) {
   }
 }
 
-TEST_F(ReplicationTest, WritesFailWhenReplicaDown) {
+TEST_F(ReplicationTest, WritesDegradeGracefullyWhenReplicaDown) {
   Recreate(2);
   storage_->SetServerDown(1, true);
-  // Some stripe or record lands on server 1 or its successor; a large file
-  // touching all servers must fail (all-replica acks required).
+  // Graceful degradation (the default): a replica set that reaches at least
+  // one live server acknowledges the write and counts it as degraded.
+  const Bytes data = Bytes::Synthetic(MiB(4), 9);
+  ASSERT_TRUE(WriteFile({0, 0}, "/wf", data).ok());
+  EXPECT_GT(fs_->stats().degraded_writes, 0u);
+
+  // And the surviving copies are complete: bring the victim back (its data
+  // intact but missing the degraded stripes) and read everything.
+  storage_->SetServerDown(1, false);
+  auto back = ReadFile({2, 0}, "/wf");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ContentEquals(data));
+}
+
+TEST_F(ReplicationTest, StrictModeWritesFailWhenReplicaDown) {
+  Recreate(2, /*degraded_writes=*/false);
+  storage_->SetServerDown(1, true);
+  // Strict all-replica acks: a large file touching all servers must fail.
   EXPECT_FALSE(WriteFile({0, 0}, "/wf", Bytes::Synthetic(MiB(4), 9)).ok());
+  EXPECT_EQ(fs_->stats().degraded_writes, 0u);
+}
+
+TEST_F(ReplicationTest, AllReplicasDownReturnsUnavailable) {
+  Recreate(2);
+  ASSERT_TRUE(WriteFile({0, 0}, "/gone_dark", Bytes::Synthetic(MiB(1), 8)).ok());
+  for (std::uint32_t s = 0; s < kNodes; ++s) storage_->SetServerDown(s, true);
+  // Nothing is reachable: the failure must surface as UNAVAILABLE ("cannot
+  // tell"), never NOT_FOUND ("definitively absent").
+  auto info = Await(*sim_, fs_->Stat({0, 0}, "/gone_dark"));
+  EXPECT_EQ(info.status().code(), ErrorCode::kUnavailable);
+  auto opened = Await(*sim_, fs_->Open({1, 0}, "/gone_dark"));
+  EXPECT_EQ(opened.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(ReplicationTest, FailoverReadsRepairWipedReplica) {
+  Recreate(2);
+  const Bytes data = Bytes::Synthetic(MiB(2), 13);
+  ASSERT_TRUE(WriteFile({0, 0}, "/heal", data).ok());
+
+  // Crash server 1 and restart it as an empty process: half the replica
+  // pairs lost a copy.
+  storage_->SetServerDown(1, true);
+  storage_->SetServerDown(1, false, /*wipe_on_restart=*/true);
+  ASSERT_EQ(storage_->server(1).memory_used(), 0u);
+
+  // Reads fail over to the surviving replica and reinstall the lost copy.
+  auto back = ReadFile({2, 0}, "/heal");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ContentEquals(data));
+  sim_->Run();  // drain the asynchronous repair writes
+  EXPECT_GT(fs_->stats().read_repairs, 0u);
+  EXPECT_GT(storage_->server(1).memory_used(), 0u);
 }
 
 TEST_F(ReplicationTest, UnlinkRemovesAllReplicas) {
@@ -182,6 +232,8 @@ TEST_F(ReplicationTest, DownServerTimesOutClients) {
   auto result = Await(*sim_, storage_->Get(0, 2, "anything"));
   EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
   EXPECT_GE(sim_->now() - t0, units::Millis(1));
+  // The client retried (with backoff) before giving up.
+  EXPECT_GT(storage_->stats().retries, 0u);
 }
 
 TEST_F(ReplicationTest, StageOutSurvivesRuntimeServerFailure) {
