@@ -56,7 +56,7 @@ class RetryState {
   // Decides whether another attempt may run and, if so, how long to back off
   // first. `now` is the current (simulated) time; draws exactly one Rng
   // value per allowed retry, so the sequence is deterministic per seed.
-  Backoff NextBackoff(Rng& rng, std::uint64_t now);
+  [[nodiscard]] Backoff NextBackoff(Rng& rng, std::uint64_t now);
 
   std::uint32_t attempts_started() const { return attempts_started_; }
 
@@ -89,7 +89,7 @@ class CircuitBreaker {
 
   // True when a request may be sent at `now` (closed, or open long enough
   // that a half-open probe is due).
-  bool AllowRequest(std::uint64_t now);
+  [[nodiscard]] bool AllowRequest(std::uint64_t now);
 
   void RecordSuccess();
   void RecordFailure(std::uint64_t now);

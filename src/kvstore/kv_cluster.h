@@ -119,15 +119,15 @@ class KvCluster {
 
   // All operations are addressed by server index (the caller's Distributor
   // picks the index) and carry the issuing client's node for the network leg.
-  sim::Future<Status> Set(net::NodeId client, std::uint32_t server,
+  [[nodiscard]] sim::Future<Status> Set(net::NodeId client, std::uint32_t server,
                           std::string key, Bytes value);
-  sim::Future<Status> Add(net::NodeId client, std::uint32_t server,
+  [[nodiscard]] sim::Future<Status> Add(net::NodeId client, std::uint32_t server,
                           std::string key, Bytes value);
-  sim::Future<Result<Bytes>> Get(net::NodeId client, std::uint32_t server,
+  [[nodiscard]] sim::Future<Result<Bytes>> Get(net::NodeId client, std::uint32_t server,
                                  std::string key);
-  sim::Future<Status> Append(net::NodeId client, std::uint32_t server,
+  [[nodiscard]] sim::Future<Status> Append(net::NodeId client, std::uint32_t server,
                              std::string key, Bytes suffix);
-  sim::Future<Status> Delete(net::NodeId client, std::uint32_t server,
+  [[nodiscard]] sim::Future<Status> Delete(net::NodeId client, std::uint32_t server,
                              std::string key);
 
   // Aggregate stored bytes across all servers (Fig. 9-style accounting).
@@ -190,7 +190,7 @@ class KvCluster {
   // Shared front half of Set/Add/Append/Delete: wraps `apply` (already bound
   // to the server state, key and value) in the retry driver and records the
   // client-observed latency under `metric`.
-  sim::Future<Status> Mutate(net::NodeId client, std::uint32_t server,
+  [[nodiscard]] sim::Future<Status> Mutate(net::NodeId client, std::uint32_t server,
                              std::uint64_t request_bytes, sim::SimTime service,
                              std::function<Status()> apply,
                              const char* metric);

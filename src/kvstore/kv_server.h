@@ -50,19 +50,19 @@ class KvServer {
   explicit KvServer(KvServerConfig config = {});
 
   // Unconditional store (overwrite allowed).
-  Status Set(std::string_view key, Bytes value);
+  [[nodiscard]] Status Set(std::string_view key, Bytes value);
 
   // Store only if absent (Memcached ADD) — the primitive behind MemFS's
   // create-exclusive metadata keys.
-  Status Add(std::string_view key, Bytes value);
+  [[nodiscard]] Status Add(std::string_view key, Bytes value);
 
-  Result<Bytes> Get(std::string_view key);
+  [[nodiscard]] Result<Bytes> Get(std::string_view key);
 
   // Atomic append to an existing value (Memcached APPEND). Used by the
   // directory metadata protocol; fails with NotFound on a missing key.
-  Status Append(std::string_view key, const Bytes& suffix);
+  [[nodiscard]] Status Append(std::string_view key, const Bytes& suffix);
 
-  Status Delete(std::string_view key);
+  [[nodiscard]] Status Delete(std::string_view key);
 
   bool Exists(std::string_view key) const;
 
@@ -84,7 +84,7 @@ class KvServer {
     }
   };
 
-  Status CheckedInsert(std::string_view key, Bytes&& value, bool overwrite);
+  [[nodiscard]] Status CheckedInsert(std::string_view key, Bytes&& value, bool overwrite);
 
   KvServerConfig config_;
   std::unordered_map<std::string, Bytes, StringHash, std::equal_to<>> store_;

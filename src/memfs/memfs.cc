@@ -356,7 +356,9 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
   Status linked = co_await ReplicatedAppend(
       0, ctx.node, parent, meta::DirEvent(path::Basename(path), false));
   if (!linked.ok()) {
-    // Parent does not exist: roll the file record back.
+    // Parent does not exist: roll the file record back. Best-effort — the
+    // create already fails with NOT_FOUND and an orphaned record is inert.
+    // lint: allow(ignored-status) best-effort rollback of an inert record
     co_await ReplicatedDelete(0, ctx.node, path);
     done.Set(status::NotFound("parent directory: " + parent));
     co_return;
@@ -433,6 +435,9 @@ sim::Task MemFs::SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
     accepted.Set(sim::Done{});
     co_return;
   }
+  // Backpressure permit: FlushStripe's completion path releases it once the
+  // stripe lands on the servers, bounding buffered bytes per handle.
+  // lint: allow(acquire-release) released by the flush completion, not here
   co_await file->tokens->Acquire();  // buffer-capacity backpressure
   file->inflight->Add();
   FlushStripe(file, key, std::move(data));
@@ -737,6 +742,7 @@ sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
   Status linked = co_await ReplicatedAppend(
       0, ctx.node, parent, meta::DirEvent(path::Basename(path), false));
   if (!linked.ok()) {
+    // lint: allow(ignored-status) best-effort rollback of an inert record
     co_await ReplicatedDelete(0, ctx.node, path);
     done.Set(status::NotFound("parent directory: " + parent));
     co_return;
@@ -842,10 +848,16 @@ sim::Task MemFs::DoRmdir(VfsContext ctx, std::string path,
     done.Set(status::NotEmpty(path));
     co_return;
   }
-  // Tombstone in the parent, then drop the directory record.
+  // Tombstone in the parent, then drop the directory record. A failed
+  // tombstone aborts the removal while the directory is still fully intact;
+  // silently continuing would leave a phantom entry in the parent's log.
   const std::string parent = path::Parent(path);
-  co_await ReplicatedAppend(0, ctx.node, parent,
-                            meta::DirEvent(path::Basename(path), true));
+  Status tombstoned = co_await ReplicatedAppend(
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), true));
+  if (!tombstoned.ok()) {
+    done.Set(std::move(tombstoned));
+    co_return;
+  }
   Status dropped = co_await ReplicatedDelete(0, ctx.node, path);
   done.Set(std::move(dropped));
 }
@@ -877,11 +889,21 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
 
   // Tombstone in the parent log (the paper's protocol), then reclaim the
   // record and the stripes (every replica of each, under the file's ring
-  // epoch).
+  // epoch). Both steps abort on failure: a failed tombstone leaves the file
+  // untouched, and a failed record delete must not reclaim stripes under a
+  // record that is still openable.
   const std::string parent = path::Parent(path);
-  co_await ReplicatedAppend(0, ctx.node, parent,
-                            meta::DirEvent(path::Basename(path), true));
-  co_await ReplicatedDelete(0, ctx.node, path);
+  Status tombstoned = co_await ReplicatedAppend(
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), true));
+  if (!tombstoned.ok()) {
+    done.Set(std::move(tombstoned));
+    co_return;
+  }
+  Status dropped = co_await ReplicatedDelete(0, ctx.node, path);
+  if (!dropped.ok()) {
+    done.Set(std::move(dropped));
+    co_return;
+  }
 
   const std::uint32_t stripe_epoch =
       decoded->file.epoch < epochs_.size() ? decoded->file.epoch : 0;

@@ -190,20 +190,20 @@ class MemFs final : public Vfs {
   // Replication-aware storage primitives. With replication == 1 these are
   // plain single-server operations. `epoch` selects the placement ring
   // (metadata uses 0, stripes their file's epoch).
-  sim::Future<Status> ReplicatedSet(std::uint32_t epoch, net::NodeId node,
+  [[nodiscard]] sim::Future<Status> ReplicatedSet(std::uint32_t epoch, net::NodeId node,
                                     std::string key, Bytes value);
   // ADD with failover: tries replicas in ring order until one is reachable;
   // that replica's verdict (OK or EXISTS) decides. Degraded mode only — in
   // strict mode the primary alone is tried.
-  sim::Future<Status> ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
+  [[nodiscard]] sim::Future<Status> ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
                                     std::string key, Bytes value);
-  sim::Future<Status> ReplicatedAppend(std::uint32_t epoch, net::NodeId node,
+  [[nodiscard]] sim::Future<Status> ReplicatedAppend(std::uint32_t epoch, net::NodeId node,
                                        std::string key, Bytes suffix);
-  sim::Future<Status> ReplicatedDelete(std::uint32_t epoch, net::NodeId node,
+  [[nodiscard]] sim::Future<Status> ReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                        std::string key);
   // Tries replicas in ring order until one answers; NOT_FOUND only if every
   // reachable replica lacks the key.
-  sim::Future<Result<Bytes>> FailoverGet(std::uint32_t epoch,
+  [[nodiscard]] sim::Future<Result<Bytes>> FailoverGet(std::uint32_t epoch,
                                          net::NodeId node, std::string key);
 
   sim::Task RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
@@ -221,7 +221,7 @@ class MemFs final : public Vfs {
   sim::Task RunReadRepair(net::NodeId node, std::uint32_t server,
                           std::string key, Bytes value);
 
-  Result<OpenFile*> FindHandle(FileHandle handle, bool writing);
+  [[nodiscard]] Result<OpenFile*> FindHandle(FileHandle handle, bool writing);
 
   // Ships one stripe asynchronously (or inline when io_threads == 0),
   // respecting buffer capacity and pool width. Awaited by the writer, so
@@ -232,7 +232,7 @@ class MemFs final : public Vfs {
 
   // Returns the cached or newly fetched stripe future; starts a fetch task
   // when absent.
-  sim::Future<Result<Bytes>> EnsureStripe(OpenFile* file, std::uint32_t index,
+  [[nodiscard]] sim::Future<Result<Bytes>> EnsureStripe(OpenFile* file, std::uint32_t index,
                                           bool prefetch);
   sim::Task FetchStripe(net::NodeId node, std::uint32_t epoch,
                         std::string key,

@@ -43,6 +43,6 @@ struct Decoded {
 
 // Parses either record form. Fails with INVALID_ARGUMENT on malformed or
 // synthetic payloads (metadata is always stored as real bytes).
-Result<Decoded> Decode(const Bytes& value);
+[[nodiscard]] Result<Decoded> Decode(const Bytes& value);
 
 }  // namespace memfs::fs::meta

@@ -45,20 +45,20 @@ class Vfs {
   virtual ~Vfs() = default;
 
   // Creates `path` and opens it for (sequential) writing.
-  virtual sim::Future<Result<FileHandle>> Create(VfsContext ctx,
+  [[nodiscard]] virtual sim::Future<Result<FileHandle>> Create(VfsContext ctx,
                                                  std::string path) = 0;
 
   // Opens an existing, sealed file for reading.
-  virtual sim::Future<Result<FileHandle>> Open(VfsContext ctx,
+  [[nodiscard]] virtual sim::Future<Result<FileHandle>> Open(VfsContext ctx,
                                                std::string path) = 0;
 
   // Appends `data` at the current write position. Only valid on handles
   // returned by Create; enforced sequential.
-  virtual sim::Future<Status> Write(VfsContext ctx, FileHandle handle,
+  [[nodiscard]] virtual sim::Future<Status> Write(VfsContext ctx, FileHandle handle,
                                     Bytes data) = 0;
 
   // Reads up to `length` bytes at `offset` (any offset; short reads at EOF).
-  virtual sim::Future<Result<Bytes>> Read(VfsContext ctx, FileHandle handle,
+  [[nodiscard]] virtual sim::Future<Result<Bytes>> Read(VfsContext ctx, FileHandle handle,
                                           std::uint64_t offset,
                                           std::uint64_t length) = 0;
 
@@ -68,25 +68,25 @@ class Vfs {
   // waits until the write buffer has been emptied"). A sub-stripe tail stays
   // buffered (only close may emit the short final stripe). The handle
   // remains writable. No-op on read handles.
-  virtual sim::Future<Status> Flush(VfsContext ctx, FileHandle handle) = 0;
+  [[nodiscard]] virtual sim::Future<Status> Flush(VfsContext ctx, FileHandle handle) = 0;
 
   // For write handles: drains buffered data and seals the file (flush +
   // close in the paper's protocol). For read handles: releases state.
-  virtual sim::Future<Status> Close(VfsContext ctx, FileHandle handle) = 0;
+  [[nodiscard]] virtual sim::Future<Status> Close(VfsContext ctx, FileHandle handle) = 0;
 
-  virtual sim::Future<Status> Mkdir(VfsContext ctx, std::string path) = 0;
+  [[nodiscard]] virtual sim::Future<Status> Mkdir(VfsContext ctx, std::string path) = 0;
 
-  virtual sim::Future<Result<std::vector<FileInfo>>> ReadDir(
+  [[nodiscard]] virtual sim::Future<Result<std::vector<FileInfo>>> ReadDir(
       VfsContext ctx, std::string path) = 0;
 
-  virtual sim::Future<Result<FileInfo>> Stat(VfsContext ctx,
+  [[nodiscard]] virtual sim::Future<Result<FileInfo>> Stat(VfsContext ctx,
                                              std::string path) = 0;
 
-  virtual sim::Future<Status> Unlink(VfsContext ctx, std::string path) = 0;
+  [[nodiscard]] virtual sim::Future<Status> Unlink(VfsContext ctx, std::string path) = 0;
 
   // Removes an empty directory (NOT_EMPTY otherwise; the root is
   // irremovable).
-  virtual sim::Future<Status> Rmdir(VfsContext ctx, std::string path) = 0;
+  [[nodiscard]] virtual sim::Future<Status> Rmdir(VfsContext ctx, std::string path) = 0;
 };
 
 // Path helpers shared by both file systems.

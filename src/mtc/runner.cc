@@ -110,6 +110,8 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
 
     if (running == 0 && (fatal || ready.empty())) break;
 
+    // Completion signal, not a lock: each finishing task Release()s once.
+    // lint: allow(acquire-release) permit is produced by task completions
     co_await wake_->Acquire();
     assert(!completions_.empty());
     Completion completion = std::move(completions_.front());
@@ -251,6 +253,7 @@ sim::Task Runner::ReadWholeFile(fs::VfsContext ctx, std::string path,
     offset += got;
     if (got < config_.io_block) break;  // EOF
   }
+  // lint: allow(ignored-status) teardown; `status` already holds any failure
   co_await vfs_.Close(ctx, handle);
   if (!status.ok()) {
     done.Set(std::move(status));

@@ -25,7 +25,7 @@ class Rpc {
   Rpc(sim::Simulation& sim, Network& network) : sim_(sim), network_(network) {}
 
   // Fulfilled when the response has fully arrived back at `client`.
-  sim::VoidFuture Call(NodeId client, NodeId server, RpcOptions options);
+  [[nodiscard]] sim::VoidFuture Call(NodeId client, NodeId server, RpcOptions options);
 
   std::uint64_t calls_issued() const { return calls_issued_; }
 

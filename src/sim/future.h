@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/checker.h"
 #include "sim/simulation.h"
 
 namespace memfs::sim {
@@ -32,7 +33,11 @@ struct FutureState {
   void Fulfill(T v) {
     assert(!value.has_value() && "promise fulfilled twice");
     value.emplace(std::move(v));
-    for (auto handle : waiters) sim->Resume(handle);
+    SimChecker* checker = sim->checker();
+    for (auto handle : waiters) {
+      if (checker != nullptr) checker->OnResume(handle);
+      sim->Resume(handle);
+    }
     waiters.clear();
   }
 };
@@ -59,6 +64,9 @@ class [[nodiscard]] Future {
     detail::FutureState<T>* state;
     bool await_ready() const noexcept { return state->value.has_value(); }
     void await_suspend(std::coroutine_handle<> h) {
+      if (SimChecker* checker = state->sim->checker()) {
+        checker->OnSuspend(h, WaitKind::kFuture, state, "Future");
+      }
       state->waiters.push_back(h);
     }
     T await_resume() const { return *state->value; }

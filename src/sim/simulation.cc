@@ -2,7 +2,23 @@
 
 #include <cassert>
 
+#include "sim/checker.h"
+
 namespace memfs::sim {
+
+namespace {
+
+// Order-sensitive FNV-1a: folds each byte of `value` into the running hash.
+std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
 
 void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule into the simulated past");
@@ -21,6 +37,7 @@ bool Simulation::Step() {
   queue_.pop();
   now_ = event.time;
   ++events_processed_;
+  digest_ = FnvMix(FnvMix(digest_, event.time), event.seq);
   event.fn();
   return true;
 }
@@ -28,6 +45,9 @@ bool Simulation::Step() {
 SimTime Simulation::Run() {
   while (Step()) {
   }
+  // The queue drained; any coroutine still registered as waiting can never
+  // be resumed — report it as a lost wakeup.
+  if (checker_ != nullptr) checker_->OnQueueDrained();
   return now_;
 }
 

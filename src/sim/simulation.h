@@ -24,6 +24,8 @@ namespace memfs::sim {
 
 using SimTime = std::uint64_t;  // nanoseconds since simulation start
 
+class SimChecker;  // opt-in correctness instrumentation (sim/checker.h)
+
 class Simulation {
  public:
   Simulation() = default;
@@ -55,6 +57,19 @@ class Simulation {
 
   bool empty() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
+
+  // Order-sensitive FNV-1a digest over the (time, sequence) pair of every
+  // event processed so far. Because the event queue is the sole source of
+  // interleaving, two runs of the same seeded program are bit-identical iff
+  // their digests match — the determinism audit (tools/determinism_audit)
+  // double-runs a faulted workload and compares these.
+  std::uint64_t EventDigest() const { return digest_; }
+
+  // Correctness instrumentation (see sim/checker.h). Managed by SimChecker's
+  // constructor/destructor; primitives consult checker() on every suspend /
+  // resume and pay one null test when no checker is attached.
+  void AttachChecker(SimChecker* checker) { checker_ = checker; }
+  SimChecker* checker() const { return checker_; }
 
   // Awaitable: co_await sim.Delay(ns) suspends the calling coroutine for the
   // given simulated duration.
@@ -95,6 +110,8 @@ class Simulation {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
+  SimChecker* checker_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -8,22 +8,41 @@
 //
 // All wakeups are funnelled through the Simulation event queue so waiters
 // resume in FIFO order, deterministically.
+//
+// Both primitives accept an optional debug name (the "registration site")
+// and report suspensions, wakeups and permit movements to the simulation's
+// SimChecker when one is attached (sim/checker.h); unchecked runs pay one
+// null test per operation.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "sim/checker.h"
 #include "sim/simulation.h"
 
 namespace memfs::sim {
 
 class Semaphore {
  public:
-  Semaphore(Simulation& sim, std::uint64_t count)
-      : sim_(&sim), count_(count) {}
+  Semaphore(Simulation& sim, std::uint64_t count,
+            std::string_view name = "Semaphore")
+      : sim_(&sim), count_(count), name_(name) {
+    if (SimChecker* checker = sim_->checker()) {
+      checker->OnSemaphoreCreate(this, count, name_);
+    }
+  }
+
+  ~Semaphore() {
+    if (SimChecker* checker = sim_->checker()) {
+      checker->OnSemaphoreDestroy(this);
+    }
+  }
 
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
@@ -33,11 +52,17 @@ class Semaphore {
     bool await_ready() const noexcept {
       if (sem->count_ > 0 && sem->waiters_.empty()) {
         --sem->count_;
+        if (SimChecker* checker = sem->sim_->checker()) {
+          checker->OnAcquire(sem);
+        }
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
+      if (SimChecker* checker = sem->sim_->checker()) {
+        checker->OnSuspend(h, WaitKind::kSemaphore, sem, sem->name_);
+      }
       sem->waiters_.push_back(h);
     }
     void await_resume() const noexcept {}
@@ -50,17 +75,24 @@ class Semaphore {
   bool TryAcquire() {
     if (count_ > 0 && waiters_.empty()) {
       --count_;
+      if (SimChecker* checker = sim_->checker()) checker->OnAcquire(this);
       return true;
     }
     return false;
   }
 
   void Release() {
+    SimChecker* checker = sim_->checker();
+    if (checker != nullptr) checker->OnRelease(this, name_);
     if (!waiters_.empty()) {
       // Hand the permit directly to the longest waiter; it resumes through
       // the event queue at the current simulated instant.
       auto handle = waiters_.front();
       waiters_.pop_front();
+      if (checker != nullptr) {
+        checker->OnAcquire(this);  // the permit passes straight to the waiter
+        checker->OnResume(handle);
+      }
       sim_->Resume(handle);
       return;
     }
@@ -69,10 +101,12 @@ class Semaphore {
 
   std::uint64_t available() const { return count_; }
   std::size_t waiting() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
 
  private:
   Simulation* sim_;
   std::uint64_t count_;
+  std::string name_;
   std::deque<std::coroutine_handle<>> waiters_;
 };
 
@@ -86,7 +120,8 @@ class Semaphore {
 
 class WaitGroup {
  public:
-  explicit WaitGroup(Simulation& sim) : sim_(&sim) {}
+  explicit WaitGroup(Simulation& sim, std::string_view name = "WaitGroup")
+      : sim_(&sim), name_(name) {}
 
   WaitGroup(const WaitGroup&) = delete;
   WaitGroup& operator=(const WaitGroup&) = delete;
@@ -96,7 +131,11 @@ class WaitGroup {
   void Done() {
     assert(pending_ > 0 && "WaitGroup::Done without matching Add");
     if (--pending_ == 0) {
-      for (auto handle : waiters_) sim_->Resume(handle);
+      SimChecker* checker = sim_->checker();
+      for (auto handle : waiters_) {
+        if (checker != nullptr) checker->OnResume(handle);
+        sim_->Resume(handle);
+      }
       waiters_.clear();
     }
   }
@@ -105,6 +144,9 @@ class WaitGroup {
     WaitGroup* wg;
     bool await_ready() const noexcept { return wg->pending_ == 0; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (SimChecker* checker = wg->sim_->checker()) {
+        checker->OnSuspend(h, WaitKind::kWaitGroup, wg, wg->name_);
+      }
       wg->waiters_.push_back(h);
     }
     void await_resume() const noexcept {}
@@ -113,10 +155,12 @@ class WaitGroup {
   Waiter Wait() { return {this}; }
 
   std::uint64_t pending() const { return pending_; }
+  const std::string& name() const { return name_; }
 
  private:
   Simulation* sim_;
   std::uint64_t pending_ = 0;
+  std::string name_;
   std::vector<std::coroutine_handle<>> waiters_;
 };
 

@@ -17,15 +17,33 @@
 
 namespace memfs::sim {
 
+namespace detail {
+
+// Defined in checker.cc: reports frame lifetimes to the active SimChecker so
+// leaked (never-resumed) tasks are detectable; no-ops when no checker is
+// attached.
+void NoteTaskCreated(void* frame) noexcept;
+void NoteTaskDestroyed(void* frame) noexcept;
+
+}  // namespace detail
+
 struct Task {
   struct promise_type {
-    Task get_return_object() noexcept { return {}; }
+    Task get_return_object() noexcept {
+      detail::NoteTaskCreated(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+      return {};
+    }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     // The simulator does not use exceptions for control flow; an escaped
     // exception in a detached process is a programming error.
     void unhandled_exception() noexcept { std::terminate(); }
+    ~promise_type() {
+      detail::NoteTaskDestroyed(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
   };
 };
 

@@ -1,0 +1,187 @@
+// memfs_lint engine tests: one fixture per rule plus suppression handling,
+// exercised through the in-memory Linter::AddSource API (the same engine the
+// `lint` ctest runs over src/ via the CLI).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace memfs::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path,
+                          const std::string& contents,
+                          bool include_suppressed = false) {
+  Linter linter;
+  linter.AddSource(path, contents);
+  return linter.Run(include_suppressed);
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int count = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule) ++count;
+  }
+  return count;
+}
+
+TEST(LintIgnoredStatusTest, BareStatusCallIsFlagged) {
+  const auto findings = Lint("src/x/use.cc",
+                             "Status Push(int v);\n"
+                             "void Caller() {\n"
+                             "  Push(1);\n"
+                             "}\n");
+  ASSERT_EQ(CountRule(findings, "ignored-status"), 1);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("'Push'"), std::string::npos);
+}
+
+TEST(LintIgnoredStatusTest, ConsumedStatusIsNotFlagged) {
+  const auto findings = Lint("src/x/use.cc",
+                             "Status Push(int v);\n"
+                             "Status Caller() {\n"
+                             "  Status s = Push(1);\n"
+                             "  if (!s.ok()) return s;\n"
+                             "  return Push(2);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "ignored-status"), 0);
+}
+
+TEST(LintIgnoredStatusTest, AwaitedStatusFutureIsFlagged) {
+  const auto findings = Lint("src/x/use.cc",
+                             "Future<Status> Send(int v);\n"
+                             "void Caller() {\n"
+                             "  co_await Send(2);\n"
+                             "}\n");
+  ASSERT_EQ(CountRule(findings, "ignored-status"), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintIgnoredStatusTest, AwaitedVoidFutureIsNotFlaggedButDroppedOneIs) {
+  // Awaiting a VoidFuture consumes it correctly (the payload is Done);
+  // dropping it outright is a fire-and-forget without a join.
+  const std::string source =
+      "VoidFuture Ping();\n"
+      "void Caller() {\n"
+      "  co_await Ping();\n"
+      "  Ping();\n"
+      "}\n";
+  const auto findings = Lint("src/x/use.cc", source);
+  ASSERT_EQ(CountRule(findings, "ignored-status"), 1);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintIgnoredStatusTest, VoidOverloadDisablesTheName) {
+  // `Reset` is declared void-returning somewhere; token-level linting cannot
+  // disambiguate overloads, so the name is never flagged.
+  const auto findings = Lint("src/x/use.cc",
+                             "Status Reset();\n"
+                             "void Reset(int hard);\n"
+                             "void Caller() {\n"
+                             "  Reset();\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "ignored-status"), 0);
+}
+
+TEST(LintAcquireReleaseTest, AcquireWithoutReleaseIsFlagged) {
+  const auto findings = Lint("src/x/hold.cc",
+                             "void Grab(Sem& sem) {\n"
+                             "  sem.Acquire();\n"
+                             "  DoWork();\n"
+                             "}\n");
+  ASSERT_EQ(CountRule(findings, "acquire-release"), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintAcquireReleaseTest, BalancedPairIsNotFlagged) {
+  const auto findings = Lint("src/x/hold.cc",
+                             "void Grab(Sem& sem) {\n"
+                             "  sem.Acquire();\n"
+                             "  DoWork();\n"
+                             "  sem.Release();\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "acquire-release"), 0);
+}
+
+TEST(LintNondeterminismTest, BannedSourcesAreFlagged) {
+  const auto findings = Lint("src/x/entropy.cc",
+                             "int A() { return std::rand(); }\n"
+                             "int B() { return time(nullptr); }\n"
+                             "std::random_device Dev();\n");
+  EXPECT_EQ(CountRule(findings, "nondeterminism"), 3);
+}
+
+TEST(LintNondeterminismTest, WallClockAllowedUnderSimOnly) {
+  const std::string source =
+      "void Tick() { auto t = std::chrono::steady_clock::now(); }\n";
+  EXPECT_EQ(CountRule(Lint("src/net/clock.cc", source), "nondeterminism"), 1);
+  EXPECT_EQ(CountRule(Lint("src/sim/clock.cc", source), "nondeterminism"), 0);
+}
+
+TEST(LintHeaderHygieneTest, MissingPragmaOnceIsFlaggedInHeadersOnly) {
+  const std::string source = "int x;\n";
+  const auto header = Lint("src/x/thing.h", source);
+  ASSERT_EQ(CountRule(header, "pragma-once"), 1);
+  EXPECT_EQ(header[0].line, 1);
+  EXPECT_EQ(CountRule(Lint("src/x/thing.cc", source), "pragma-once"), 0);
+  EXPECT_EQ(CountRule(Lint("src/x/ok.h", "#pragma once\nint x;\n"),
+                      "pragma-once"),
+            0);
+}
+
+TEST(LintHeaderHygieneTest, UsingNamespaceInHeaderIsFlagged) {
+  const auto findings = Lint("src/x/leak.h",
+                             "#pragma once\n"
+                             "using namespace std;\n");
+  ASSERT_EQ(CountRule(findings, "using-namespace"), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintSuppressionTest, AllowCommentSuppressesNextLine) {
+  const std::string source =
+      "Status Push(int v);\n"
+      "void Caller() {\n"
+      "  // lint: allow(ignored-status) fire-and-forget by design\n"
+      "  Push(1);\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/x/use.cc", source).empty());
+
+  // With include_suppressed the finding is still visible and marked.
+  const auto all = Lint("src/x/use.cc", source, /*include_suppressed=*/true);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].suppressed);
+  EXPECT_NE(Format(all[0]).find("[suppressed]"), std::string::npos);
+}
+
+TEST(LintSuppressionTest, SuppressionIsRuleSpecific) {
+  // An allow() for a different rule does not mute the finding.
+  const auto findings = Lint("src/x/use.cc",
+                             "Status Push(int v);\n"
+                             "void Caller() {\n"
+                             "  // lint: allow(acquire-release) wrong rule\n"
+                             "  Push(1);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "ignored-status"), 1);
+}
+
+TEST(LintSuppressionTest, CommaSeparatedRuleListIsHonored) {
+  const auto findings =
+      Lint("src/x/use.cc",
+           "Status Push(int v);\n"
+           "void Caller(Sem& sem) {\n"
+           "  // lint: allow(ignored-status, acquire-release) protocol\n"
+           "  Push(1);\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "ignored-status"), 0);
+}
+
+TEST(LintFormatTest, FindingsAreMachineReadable) {
+  const auto findings = Lint("src/x/thing.h", "int x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(Format(findings[0]).rfind("src/x/thing.h:1: pragma-once:", 0), 0u);
+}
+
+}  // namespace
+}  // namespace memfs::lint

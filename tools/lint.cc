@@ -1,0 +1,605 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+
+namespace memfs::lint {
+
+namespace {
+
+// --- Tokenizer ------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kLiteral, kPunct, kPreprocessor };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+// line -> rule names suppressed on that line.
+using SuppressionMap = std::unordered_map<int, std::set<std::string>>;
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  bool has_pragma_once = false;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// A comment containing `lint: allow(rule[, rule])` suppresses those rules on
+// the comment's final line and the line after it.
+void ParseSuppression(const std::string& comment, int end_line,
+                      SuppressionMap& out) {
+  std::size_t pos = comment.find("lint:");
+  if (pos == std::string::npos) return;
+  pos = comment.find("allow(", pos);
+  if (pos == std::string::npos) return;
+  pos += 6;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return;
+  std::string rule;
+  auto flush = [&] {
+    if (!rule.empty()) {
+      out[end_line].insert(rule);
+      out[end_line + 1].insert(rule);
+      rule.clear();
+    }
+  };
+  for (std::size_t i = pos; i < close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      rule += c;
+    }
+  }
+  flush();
+}
+
+TokenizedFile Tokenize(const std::string& text) {
+  TokenizedFile out;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto emit = [&](Token::Kind kind, std::string token_text, int token_line) {
+    out.tokens.push_back(Token{kind, std::move(token_text), token_line});
+    at_line_start = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ParseSuppression(text.substr(i, end - i), line, out.suppressions);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string comment = text.substr(i, end - i);
+      for (char cc : comment) {
+        if (cc == '\n') ++line;
+      }
+      ParseSuppression(comment, line, out.suppressions);
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+    // Preprocessor directive: '#' first on its line; honors backslash
+    // continuations.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::size_t end = i;
+      while (end < n) {
+        std::size_t eol = text.find('\n', end);
+        if (eol == std::string::npos) {
+          end = n;
+          break;
+        }
+        // Continuation line?
+        std::size_t back = eol;
+        while (back > end && std::isspace(static_cast<unsigned char>(
+                                 text[back - 1])) &&
+               text[back - 1] != '\n') {
+          --back;
+        }
+        if (back > end && text[back - 1] == '\\') {
+          ++line;
+          end = eol + 1;
+          continue;
+        }
+        end = eol;
+        break;
+      }
+      std::string directive = text.substr(i, end - i);
+      // Normalize "#  pragma   once" for the check.
+      std::string squeezed;
+      for (char dc : directive) {
+        if (!std::isspace(static_cast<unsigned char>(dc))) squeezed += dc;
+      }
+      if (squeezed == "#pragmaonce") out.has_pragma_once = true;
+      emit(Token::Kind::kPreprocessor, std::move(directive), start_line);
+      at_line_start = true;
+      i = end;
+      continue;
+    }
+    // String literal (including raw strings reached via the ident path
+    // below) and char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      emit(Token::Kind::kLiteral, text.substr(i, j - i + 1), line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.' || text[j] == '\'')) {
+        ++j;
+      }
+      emit(Token::Kind::kNumber, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      std::string ident = text.substr(i, j - i);
+      // Raw string literal: R"delim( ... )delim" (also u8R / uR / UR / LR).
+      if (j < n && text[j] == '"' && !ident.empty() && ident.back() == 'R' &&
+          ident.size() <= 3) {
+        const std::size_t open_paren = text.find('(', j + 1);
+        if (open_paren != std::string::npos) {
+          const std::string delim =
+              text.substr(j + 1, open_paren - j - 1);
+          const std::string closer = ")" + delim + "\"";
+          std::size_t end = text.find(closer, open_paren + 1);
+          if (end == std::string::npos) end = n;
+          for (std::size_t k = i; k < end && k < n; ++k) {
+            if (text[k] == '\n') ++line;
+          }
+          emit(Token::Kind::kLiteral, "<raw-string>", line);
+          i = (end == n) ? n : end + closer.size();
+          continue;
+        }
+      }
+      emit(Token::Kind::kIdent, std::move(ident), line);
+      i = j;
+      continue;
+    }
+    // Punctuation; "::" and "->" kept as single tokens (the rules look for
+    // member access and scope qualification).
+    if (i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      if (two == "::" || two == "->") {
+        emit(Token::Kind::kPunct, two, line);
+        i += 2;
+        continue;
+      }
+    }
+    emit(Token::Kind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+// --- Rule helpers ---------------------------------------------------------
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+bool IsSimPath(const std::string& path) {
+  return path.find("src/sim/") != std::string::npos ||
+         path.rfind("sim/", 0) == 0;
+}
+
+void Add(std::vector<Finding>& findings, const std::string& file, int line,
+         std::string rule, std::string message,
+         const SuppressionMap& suppressions) {
+  bool suppressed = false;
+  auto it = suppressions.find(line);
+  if (it != suppressions.end() && it->second.count(rule) > 0) {
+    suppressed = true;
+  }
+  findings.push_back(
+      Finding{file, line, std::move(rule), std::move(message), suppressed});
+}
+
+// --- Pass 1: collect Status-returning (and void-returning) names ----------
+
+// `status_names` holds functions whose (possibly future-wrapped) result
+// carries a Status / Result that the caller must inspect. `future_names`
+// holds functions returning futures with no error payload (VoidFuture,
+// Future<Done>, Future<Bytes>, ...): awaiting one consumes it correctly, but
+// dropping it entirely is a fire-and-forget without a join. `void_names`
+// collects names that are declared void-returning anywhere — token-level
+// linting cannot disambiguate overloads, so those names are never flagged.
+void CollectReturnNames(const TokenizedFile& file,
+                        std::set<std::string>& status_names,
+                        std::set<std::string>& future_names,
+                        std::set<std::string>& void_names) {
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+    const std::string& name = t[i].text;
+    if (name == "Status") {
+      if (i + 2 < t.size() && t[i + 1].kind == Token::Kind::kIdent &&
+          t[i + 2].text == "(") {
+        status_names.insert(t[i + 1].text);
+      }
+    } else if (name == "VoidFuture") {
+      if (i + 2 < t.size() && t[i + 1].kind == Token::Kind::kIdent &&
+          t[i + 2].text == "(") {
+        future_names.insert(t[i + 1].text);
+      }
+    } else if (name == "Result" || name == "Future") {
+      if (i + 1 >= t.size() || t[i + 1].text != "<") continue;
+      bool carries_status = name == "Result";
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") {
+          ++depth;
+        } else if (t[j].text == ">") {
+          if (--depth == 0) {
+            ++j;
+            break;
+          }
+        } else if (t[j].text == "Status" || t[j].text == "Result") {
+          carries_status = true;  // Future<Status>, Future<Result<T>>
+        } else if (t[j].text == ";" || t[j].text == "{") {
+          depth = -1;  // a comparison, not a template argument list
+          break;
+        }
+      }
+      if (depth == 0 && j + 1 < t.size() &&
+          t[j].kind == Token::Kind::kIdent && t[j + 1].text == "(") {
+        (carries_status ? status_names : future_names).insert(t[j].text);
+      }
+    } else if (name == "void") {
+      if (i + 2 < t.size() && t[i + 1].kind == Token::Kind::kIdent &&
+          t[i + 2].text == "(") {
+        void_names.insert(t[i + 1].text);
+      }
+    }
+  }
+}
+
+// --- Rule: ignored-status -------------------------------------------------
+
+// Tokens whose presence in a statement disqualifies it (declarations,
+// assignments, control flow, initializer lists, casts — all conservatively
+// treated as "the result is used").
+bool DisqualifiesStatement(const Token& token) {
+  static const std::set<std::string> kExcluders = {
+      "Status",     "Result",     "Future",   "VoidFuture", "void",
+      "auto",       "virtual",    "using",    "template",   "typedef",
+      "operator",   "return",     "co_return", "co_yield",  "if",
+      "for",        "while",      "switch",   "case",       "goto",
+      "new",        "delete",     "=",        "{",          "}",
+      "?",          "static_cast", "const_cast", "reinterpret_cast",
+      "dynamic_cast"};
+  return kExcluders.count(token.text) > 0;
+}
+
+void CheckIgnoredStatus(const std::string& path, const TokenizedFile& file,
+                        const std::set<std::string>& status_names,
+                        const std::set<std::string>& future_names,
+                        const std::set<std::string>& void_names,
+                        std::vector<Finding>& findings) {
+  const std::vector<Token>& t = file.tokens;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool boundary = t[i].kind == Token::Kind::kPreprocessor ||
+                          t[i].text == ";" || t[i].text == "{" ||
+                          t[i].text == "}";
+    if (!boundary) continue;
+    if (t[i].text == ";" && i > start) {
+      // Candidate statement [start, i).
+      const std::size_t end = i;
+      bool disqualified = false;
+      std::size_t open = end;  // first '(' in the span
+      for (std::size_t j = start; j < end; ++j) {
+        if (DisqualifiesStatement(t[j])) {
+          disqualified = true;
+          break;
+        }
+        if (open == end && t[j].text == "(") open = j;
+      }
+      if (!disqualified && open != end && open > start &&
+          t[open - 1].kind == Token::Kind::kIdent) {
+        // The call chain before the callee must be plain member/scope
+        // access (optionally behind co_await).
+        bool plain_chain = true;
+        for (std::size_t j = start; j + 1 < open; ++j) {
+          const Token& tok = t[j];
+          const bool ok_tok = tok.kind == Token::Kind::kIdent ||
+                              tok.text == "::" || tok.text == "." ||
+                              tok.text == "->";
+          if (!ok_tok) {
+            plain_chain = false;
+            break;
+          }
+        }
+        // The statement must end right after the call: `...);`.
+        int depth = 0;
+        std::size_t close = end;
+        for (std::size_t j = open; j < end; ++j) {
+          if (t[j].text == "(") ++depth;
+          if (t[j].text == ")" && --depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        const std::string& callee = t[open - 1].text;
+        const bool awaited = t[start].text == "co_await";
+        // An awaited call discards only what await_resume returns: flag it
+        // when that is a Status/Result. A call whose future is dropped
+        // outright is a fire-and-forget without a join: flag it for every
+        // future-returning name.
+        const bool flagged =
+            status_names.count(callee) > 0 ||
+            (!awaited && future_names.count(callee) > 0);
+        if (plain_chain && close == end - 1 && flagged &&
+            void_names.count(callee) == 0) {
+          Add(findings, path, t[start].line, "ignored-status",
+              "result of Status/Result-returning call '" + callee +
+                  "' is ignored; handle it or annotate with "
+                  "// lint: allow(ignored-status) <why>",
+              file.suppressions);
+        }
+      }
+    }
+    start = i + 1;
+  }
+}
+
+// --- Rule: acquire-release ------------------------------------------------
+
+void CheckAcquireRelease(const std::string& path, const TokenizedFile& file,
+                         std::vector<Finding>& findings) {
+  const std::vector<Token>& t = file.tokens;
+  struct Block {
+    bool function_root;
+  };
+  std::vector<Block> stack;
+  bool in_function = false;
+  std::vector<int> acquire_lines;
+  int releases = 0;
+
+  auto prev_significant = [&](std::size_t i) -> const Token* {
+    while (i > 0) {
+      --i;
+      if (t[i].kind != Token::Kind::kPreprocessor) return &t[i];
+    }
+    return nullptr;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& text = t[i].text;
+    if (text == "{") {
+      bool root = false;
+      if (!in_function) {
+        const Token* prev = prev_significant(i);
+        if (prev != nullptr &&
+            (prev->text == ")" || prev->text == "const" ||
+             prev->text == "noexcept" || prev->text == "override" ||
+             prev->text == "final" || prev->text == "mutable")) {
+          root = true;
+        }
+      }
+      stack.push_back(Block{root});
+      if (root) in_function = true;
+      continue;
+    }
+    if (text == "}") {
+      if (stack.empty()) continue;
+      const Block block = stack.back();
+      stack.pop_back();
+      if (block.function_root) {
+        in_function = false;
+        if (!acquire_lines.empty() && releases == 0) {
+          for (int acquire_line : acquire_lines) {
+            Add(findings, path, acquire_line, "acquire-release",
+                "Acquire() with no Release() in the enclosing function; "
+                "release the permit or annotate the cross-function protocol "
+                "with // lint: allow(acquire-release) <why>",
+                file.suppressions);
+          }
+        }
+        acquire_lines.clear();
+        releases = 0;
+      }
+      continue;
+    }
+    if (in_function && t[i].kind == Token::Kind::kIdent && i > 0 &&
+        i + 1 < t.size() && t[i + 1].text == "(" &&
+        (t[i - 1].text == "." || t[i - 1].text == "->")) {
+      if (text == "Acquire") acquire_lines.push_back(t[i].line);
+      if (text == "Release") ++releases;
+    }
+  }
+}
+
+// --- Rule: nondeterminism -------------------------------------------------
+
+void CheckNondeterminism(const std::string& path, const TokenizedFile& file,
+                         std::vector<Finding>& findings) {
+  const bool in_sim = IsSimPath(path);
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    const std::string& name = t[i].text;
+    const bool member_access =
+        i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+    const bool called = i + 1 < t.size() && t[i + 1].text == "(";
+    if (member_access) continue;
+    if ((name == "rand" || name == "srand") && called) {
+      Add(findings, path, t[i].line, "nondeterminism",
+          "call to " + name + "(): all randomness must flow through the "
+          "seeded common/rng.h Rng",
+          file.suppressions);
+    } else if (name == "random_device") {
+      Add(findings, path, t[i].line, "nondeterminism",
+          "std::random_device is nondeterministic; seed an Rng explicitly",
+          file.suppressions);
+    } else if ((name == "time" || name == "gettimeofday" ||
+                name == "clock_gettime") &&
+               called) {
+      Add(findings, path, t[i].line, "nondeterminism",
+          "wall-clock " + name + "(): use the simulated clock "
+          "(Simulation::now())",
+          file.suppressions);
+    } else if ((name == "system_clock" || name == "steady_clock" ||
+                name == "high_resolution_clock") &&
+               !in_sim) {
+      Add(findings, path, t[i].line, "nondeterminism",
+          "std::chrono::" + name + " outside sim/: wall clocks break "
+          "bit-reproducibility; use Simulation::now()",
+          file.suppressions);
+    }
+  }
+}
+
+// --- Rules: using-namespace / pragma-once (headers only) ------------------
+
+void CheckHeaderHygiene(const std::string& path, const TokenizedFile& file,
+                        std::vector<Finding>& findings) {
+  if (!IsHeaderPath(path)) return;
+  if (!file.has_pragma_once) {
+    Add(findings, path, 1, "pragma-once",
+        "header is missing #pragma once", file.suppressions);
+  }
+  const std::vector<Token>& t = file.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "using" && t[i + 1].text == "namespace") {
+      Add(findings, path, t[i].line, "using-namespace",
+          "'using namespace' in a header leaks into every includer",
+          file.suppressions);
+    }
+  }
+}
+
+}  // namespace
+
+// --- Public interface -----------------------------------------------------
+
+std::string Format(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": " << finding.rule << ": "
+      << finding.message;
+  if (finding.suppressed) out << " [suppressed]";
+  return out.str();
+}
+
+void Linter::AddSource(std::string path, std::string contents) {
+  sources_.push_back(Source{std::move(path), std::move(contents)});
+}
+
+bool Linter::AddFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AddSource(path, buffer.str());
+  return true;
+}
+
+int Linter::AddTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string p = it->path().string();
+    if (p.size() >= 2 && (p.compare(p.size() - 2, 2, ".h") == 0 ||
+                          (p.size() >= 3 &&
+                           p.compare(p.size() - 3, 3, ".cc") == 0))) {
+      paths.push_back(p);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  int added = 0;
+  for (const std::string& p : paths) {
+    if (AddFile(p)) ++added;
+  }
+  return added;
+}
+
+std::vector<Finding> Linter::Run(bool include_suppressed) const {
+  std::vector<TokenizedFile> tokenized;
+  tokenized.reserve(sources_.size());
+  std::set<std::string> status_names;
+  std::set<std::string> future_names;
+  std::set<std::string> void_names;
+  for (const Source& source : sources_) {
+    tokenized.push_back(Tokenize(source.contents));
+    CollectReturnNames(tokenized.back(), status_names, future_names,
+                       void_names);
+  }
+
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const std::string& path = sources_[i].path;
+    const TokenizedFile& file = tokenized[i];
+    CheckIgnoredStatus(path, file, status_names, future_names, void_names,
+                       findings);
+    CheckAcquireRelease(path, file, findings);
+    CheckNondeterminism(path, file, findings);
+    CheckHeaderHygiene(path, file, findings);
+  }
+
+  if (!include_suppressed) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [](const Finding& f) {
+                                    return f.suppressed;
+                                  }),
+                   findings.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace memfs::lint

@@ -1,0 +1,84 @@
+// From-scratch token-level C++ linter enforcing MemFS repository rules.
+//
+// The linter tokenizes each source file (comments, string/char literals, raw
+// strings and preprocessor lines handled; no preprocessing or type checking)
+// and applies five rules:
+//
+//   ignored-status     A statement that calls a function declared anywhere in
+//                      the linted corpus with a Status / Result<...> /
+//                      Future<...> return type and discards the result.
+//                      Names that are also declared with a void return
+//                      somewhere are excluded (token-level linting cannot
+//                      disambiguate overloads), as are statements containing
+//                      assignments, control keywords, casts or braces.
+//   acquire-release    A function body that calls .Acquire()/->Acquire() on a
+//                      semaphore but never calls Release(); flags the lock
+//                      pattern that leaks permits. Cross-function protocols
+//                      (producer releases what the consumer acquired) are
+//                      legitimate and use the suppression comment.
+//   nondeterminism     Banned nondeterminism sources: std::rand/srand,
+//                      std::random_device, time(), gettimeofday,
+//                      clock_gettime, and the std::chrono wall clocks
+//                      (system_clock/steady_clock/high_resolution_clock)
+//                      outside src/sim/. All randomness must flow through the
+//                      seeded common/rng.h and all time through the simulated
+//                      clock.
+//   using-namespace    `using namespace` in a header.
+//   pragma-once        Header missing `#pragma once`.
+//
+// Suppression: a comment containing `lint: allow(rule)` (optionally a
+// comma-separated rule list) suppresses findings of those rules on the
+// comment's line and on the following line. Repository convention is to
+// append a one-line justification:
+//
+//   // lint: allow(ignored-status) best-effort read repair; failure rechecked
+//   ReplicatedSet(epoch, node, key, value);
+//
+// Output is machine-readable, one finding per line: `file:line: rule:
+// message` (see Format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memfs::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+// "file:line: rule: message" (suppressed findings gain a " [suppressed]"
+// suffix).
+std::string Format(const Finding& finding);
+
+class Linter {
+ public:
+  // Registers in-memory source (tests) — `path` decides header-only rules
+  // (".h" suffix) and the sim/ exemption for the wall-clock rule.
+  void AddSource(std::string path, std::string contents);
+
+  // Reads one file from disk. Returns false when unreadable.
+  bool AddFile(const std::string& path);
+
+  // Recursively registers every .h/.cc file under `root` in sorted order
+  // (deterministic output). Returns the number of files added.
+  int AddTree(const std::string& root);
+
+  // Runs every rule over every registered source. Findings are sorted by
+  // (file, line, rule); suppressed ones are dropped unless
+  // `include_suppressed`.
+  std::vector<Finding> Run(bool include_suppressed = false) const;
+
+ private:
+  struct Source {
+    std::string path;
+    std::string contents;
+  };
+  std::vector<Source> sources_;
+};
+
+}  // namespace memfs::lint

@@ -1,0 +1,68 @@
+// Repo linter CLI: tokenizes the given files/trees and reports rule
+// violations, one `file:line: rule: message` per line.
+//
+//   memfs_lint [--include-suppressed] <file-or-dir>...
+//
+// Exit status: 0 when no unsuppressed finding, 1 otherwise, 2 on usage
+// errors. `ctest -R lint` runs this over src/.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  bool include_suppressed = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--include-suppressed") {
+      include_suppressed = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: memfs_lint [--include-suppressed] "
+                   "<file-or-dir>...\n");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "memfs_lint: no inputs (try --help)\n");
+    return 2;
+  }
+
+  memfs::lint::Linter linter;
+  int files = 0;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      files += linter.AddTree(path);
+    } else if (linter.AddFile(path)) {
+      ++files;
+    } else {
+      std::fprintf(stderr, "memfs_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+  }
+
+  // Always lint with suppressed findings included so the summary can report
+  // both counts; only unsuppressed ones fail the run.
+  const auto findings = linter.Run(/*include_suppressed=*/true);
+  int violations = 0;
+  int suppressed = 0;
+  for (const auto& finding : findings) {
+    if (finding.suppressed) {
+      ++suppressed;
+      if (!include_suppressed) continue;
+    } else {
+      ++violations;
+    }
+    std::printf("%s\n", memfs::lint::Format(finding).c_str());
+  }
+  std::fprintf(stderr,
+               "memfs_lint: %d file(s), %d violation(s), %d suppressed\n",
+               files, violations, suppressed);
+  return violations == 0 ? 0 : 1;
+}
