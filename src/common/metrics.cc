@@ -48,6 +48,11 @@ void LatencyHistogram::Record(std::uint64_t nanos) {
 
 double LatencyHistogram::PercentileNanos(double q) const {
   if (count_ == 0) return 0.0;
+  // The interpolation below returns bucket upper bounds; at the extremes the
+  // exact answer is known, and ceil(0 * count) == 0 would otherwise match the
+  // first non-empty bucket for q = 0.
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(count_)));

@@ -59,7 +59,8 @@ sim::Task RunDeadline(sim::Simulation& sim, std::shared_ptr<RaceState<T>> race,
 }
 
 // One mutation attempt: ship key+value to the server, process under a worker
-// slot, return a small acknowledgement.
+// slot, return a small acknowledgement. `ctx` is this attempt's span (owned
+// here: the frame ends it on every exit path).
 sim::Task RunMutationAttempt(sim::Simulation& sim, net::Network& network,
                              KvCluster::ServerSlotAccess slot,
                              net::NodeId client, std::uint64_t request_bytes,
@@ -67,34 +68,54 @@ sim::Task RunMutationAttempt(sim::Simulation& sim, net::Network& network,
                              std::shared_ptr<std::function<Status()>> apply,
                              std::shared_ptr<RaceState<Status>> race,
                              std::uint64_t ack_bytes,
-                             sim::SimTime failure_timeout) {
+                             sim::SimTime failure_timeout,
+                             trace::TraceContext ctx) {
+  trace::ScopedSpan attempt = trace::ScopedSpan::Adopt(ctx);
   if (network.DropMessage(client, slot.node)) {
     // The request evaporated; with no reply coming, the client can only wait
     // out its timeout (the deadline watchdog usually fires first).
+    trace::Event(ctx, "request_lost");
     co_await sim.Delay(failure_timeout);
     race->Settle(status::DeadlineExceeded("request lost"));
     co_return;
   }
-  co_await network.Transfer(client, slot.node, request_bytes);
+  {
+    trace::ScopedSpan leg(ctx, "net.request", "net");
+    co_await network.Transfer(client, slot.node, request_bytes);
+  }
   if (*slot.down) {
+    trace::Event(ctx, "server_down");
     co_await sim.Delay(failure_timeout);
     race->Settle(status::Unavailable("server down"));
     co_return;
   }
-  co_await slot.workers->Acquire();
-  co_await sim.Delay(static_cast<sim::SimTime>(
-      static_cast<double>(service_time) * *slot.slow_factor));
+  {
+    trace::ScopedSpan queued = trace::ScopedSpan::Adopt(
+        trace::ChildOn(ctx, "kv.queue", "queue", slot.node));
+    co_await slot.workers->Acquire();
+  }
+  {
+    trace::ScopedSpan service = trace::ScopedSpan::Adopt(
+        trace::ChildOn(ctx, "kv.service", "kv.service", slot.node));
+    co_await sim.Delay(static_cast<sim::SimTime>(
+        static_cast<double>(service_time) * *slot.slow_factor));
+  }
   if (race->settled) {
     // The client gave up on this attempt; cancellation reaches the server
     // before commit, so the request is discarded — a later retry stays
     // exactly-once for non-idempotent ADD/APPEND.
+    trace::Event(ctx, "cancelled_before_commit");
     slot.workers->Release();
     co_return;
   }
   race->applied = true;
+  trace::Event(ctx, "commit");
   Status status = (*apply)();
   slot.workers->Release();
-  co_await network.Transfer(slot.node, client, ack_bytes);
+  {
+    trace::ScopedSpan leg(ctx, "net.ack", "net");
+    co_await network.Transfer(slot.node, client, ack_bytes);
+  }
   race->Settle(std::move(status));
 }
 
@@ -104,19 +125,30 @@ sim::Task RunGetAttempt(sim::Simulation& sim, net::Network& network,
                         KvCluster::ServerSlotAccess slot, net::NodeId client,
                         std::uint64_t request_bytes, const KvOpCostModel& cost,
                         KvServer* state, std::string key,
-                        std::shared_ptr<RaceState<Result<Bytes>>> race) {
+                        std::shared_ptr<RaceState<Result<Bytes>>> race,
+                        trace::TraceContext ctx) {
+  trace::ScopedSpan attempt = trace::ScopedSpan::Adopt(ctx);
   if (network.DropMessage(client, slot.node)) {
+    trace::Event(ctx, "request_lost");
     co_await sim.Delay(cost.failure_timeout);
     race->Settle(Result<Bytes>(status::DeadlineExceeded("request lost")));
     co_return;
   }
-  co_await network.Transfer(client, slot.node, request_bytes);
+  {
+    trace::ScopedSpan leg(ctx, "net.request", "net");
+    co_await network.Transfer(client, slot.node, request_bytes);
+  }
   if (*slot.down) {
+    trace::Event(ctx, "server_down");
     co_await sim.Delay(cost.failure_timeout);
     race->Settle(Result<Bytes>(status::Unavailable("server down")));
     co_return;
   }
-  co_await slot.workers->Acquire();
+  {
+    trace::ScopedSpan queued = trace::ScopedSpan::Adopt(
+        trace::ChildOn(ctx, "kv.queue", "queue", slot.node));
+    co_await slot.workers->Acquire();
+  }
   Result<Bytes> result = state->Get(key);
   const std::uint64_t value_bytes =
       result.ok() ? result.value().StoredSize() : 0;
@@ -124,11 +156,22 @@ sim::Task RunGetAttempt(sim::Simulation& sim, net::Network& network,
       cost.get_base + static_cast<sim::SimTime>(cost.get_ns_per_byte *
                                                 static_cast<double>(
                                                     value_bytes));
-  co_await sim.Delay(static_cast<sim::SimTime>(
-      static_cast<double>(service) * *slot.slow_factor));
+  {
+    trace::ScopedSpan span = trace::ScopedSpan::Adopt(
+        trace::ChildOn(ctx, "kv.service", "kv.service", slot.node));
+    co_await sim.Delay(static_cast<sim::SimTime>(
+        static_cast<double>(service) * *slot.slow_factor));
+  }
   slot.workers->Release();
-  if (race->settled) co_return;  // abandoned: no one is listening
-  co_await network.Transfer(slot.node, client, cost.header_bytes + value_bytes);
+  if (race->settled) {
+    trace::Event(ctx, "abandoned");  // no one is listening
+    co_return;
+  }
+  {
+    trace::ScopedSpan leg(ctx, "net.reply", "net");
+    co_await network.Transfer(slot.node, client,
+                              cost.header_bytes + value_bytes);
+  }
   race->Settle(std::move(result));
 }
 
@@ -159,20 +202,27 @@ std::uint32_t KvCluster::AddServer(net::NodeId node) {
 template <typename T>
 sim::Task KvCluster::RunWithRetry(
     std::uint32_t server,
-    std::function<void(std::shared_ptr<RaceState<T>>)> launch,
-    sim::Promise<T> done) {
+    std::function<void(std::shared_ptr<RaceState<T>>, trace::TraceContext)>
+        launch,
+    sim::Promise<T> done, trace::TraceContext op_span) {
+  trace::ScopedSpan op = trace::ScopedSpan::Adopt(op_span);
   auto& slot = servers_[server];
   RetryState retry(policy_.retry, sim_.now());
   T result = ErrorResult<T>(status::Unavailable("no attempt made"));
+  std::uint32_t attempts = 0;
   while (true) {
     if (!slot.breaker.AllowRequest(sim_.now())) {
       ++stats_.breaker_fast_fails;
       if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_fast_fails");
+      trace::Event(op_span, "breaker_fast_fail");
       result = ErrorResult<T>(status::Unavailable("circuit breaker open"));
     } else {
       auto race = std::make_shared<RaceState<T>>(sim_);
       auto attempt = race->promise.GetFuture();
-      launch(race);
+      trace::TraceContext attempt_span =
+          trace::Child(op_span, "kv.attempt", "kv.attempt");
+      trace::Annotate(attempt_span, "attempt", std::to_string(++attempts));
+      launch(race, attempt_span);
       if (policy_.op_deadline > 0) {
         RunDeadline<T>(sim_, race, policy_.op_deadline);
       }
@@ -199,7 +249,10 @@ sim::Task KvCluster::RunWithRetry(
     if (!backoff.allowed) break;
     ++stats_.retries;
     if (metrics_ != nullptr) ++metrics_->Counter("kv.retries");
-    co_await sim_.Delay(backoff.nanos);
+    {
+      trace::ScopedSpan wait(op_span, "backoff", "retry");
+      co_await sim_.Delay(backoff.nanos);
+    }
   }
   done.Set(std::move(result));
 }
@@ -208,10 +261,14 @@ sim::Future<Status> KvCluster::Mutate(net::NodeId client, std::uint32_t server,
                                       std::uint64_t request_bytes,
                                       sim::SimTime service,
                                       std::function<Status()> apply,
-                                      const char* metric) {
+                                      const char* metric,
+                                      trace::TraceContext trace) {
   auto& slot = servers_[server];
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
+  trace::TraceContext op_span = trace::Child(trace, metric, "kv");
+  trace::Annotate(op_span, "server", std::to_string(server));
+  trace::Annotate(op_span, "bytes", std::to_string(request_bytes));
   // The apply closure is shared across attempts but invoked at most once per
   // operation: every retryable failure happens before the commit point.
   auto shared_apply =
@@ -220,12 +277,14 @@ sim::Future<Status> KvCluster::Mutate(net::NodeId client, std::uint32_t server,
   RunWithRetry<Status>(
       server,
       [this, access, client, request_bytes, service,
-       shared_apply](std::shared_ptr<RaceState<Status>> race) {
+       shared_apply](std::shared_ptr<RaceState<Status>> race,
+                     trace::TraceContext attempt_span) {
         RunMutationAttempt(sim_, network_, access, client, request_bytes,
                            service, shared_apply, std::move(race),
-                           cost_.header_bytes, cost_.failure_timeout);
+                           cost_.header_bytes, cost_.failure_timeout,
+                           attempt_span);
       },
-      std::move(done));
+      std::move(done), op_span);
   if (metrics_ != nullptr) {
     RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now());
   }
@@ -233,7 +292,8 @@ sim::Future<Status> KvCluster::Mutate(net::NodeId client, std::uint32_t server,
 }
 
 sim::Future<Status> KvCluster::Set(net::NodeId client, std::uint32_t server,
-                                   std::string key, Bytes value) {
+                                   std::string key, Bytes value,
+                                   trace::TraceContext trace) {
   auto* state = servers_[server].state.get();
   const std::uint64_t request =
       cost_.header_bytes + key.size() + value.StoredSize();
@@ -244,11 +304,12 @@ sim::Future<Status> KvCluster::Set(net::NodeId client, std::uint32_t server,
                  value = std::move(value)]() mutable {
                   return state->Set(key, std::move(value));
                 },
-                "kv.set");
+                "kv.set", trace);
 }
 
 sim::Future<Status> KvCluster::Add(net::NodeId client, std::uint32_t server,
-                                   std::string key, Bytes value) {
+                                   std::string key, Bytes value,
+                                   trace::TraceContext trace) {
   auto* state = servers_[server].state.get();
   const std::uint64_t request =
       cost_.header_bytes + key.size() + value.StoredSize();
@@ -259,11 +320,12 @@ sim::Future<Status> KvCluster::Add(net::NodeId client, std::uint32_t server,
                  value = std::move(value)]() mutable {
                   return state->Add(key, std::move(value));
                 },
-                "kv.add");
+                "kv.add", trace);
 }
 
 sim::Future<Status> KvCluster::Append(net::NodeId client, std::uint32_t server,
-                                      std::string key, Bytes suffix) {
+                                      std::string key, Bytes suffix,
+                                      trace::TraceContext trace) {
   auto* state = servers_[server].state.get();
   const std::uint64_t request =
       cost_.header_bytes + key.size() + suffix.StoredSize();
@@ -274,36 +336,41 @@ sim::Future<Status> KvCluster::Append(net::NodeId client, std::uint32_t server,
                  suffix = std::move(suffix)]() mutable {
                   return state->Append(key, suffix);
                 },
-                "kv.append");
+                "kv.append", trace);
 }
 
 sim::Future<Status> KvCluster::Delete(net::NodeId client, std::uint32_t server,
-                                      std::string key) {
+                                      std::string key,
+                                      trace::TraceContext trace) {
   auto* state = servers_[server].state.get();
   const std::uint64_t request = cost_.header_bytes + key.size();
   return Mutate(client, server, request, cost_.delete_base,
                 [state, key = std::move(key)] { return state->Delete(key); },
-                "kv.delete");
+                "kv.delete", trace);
 }
 
 sim::Future<Result<Bytes>> KvCluster::Get(net::NodeId client,
                                           std::uint32_t server,
-                                          std::string key) {
+                                          std::string key,
+                                          trace::TraceContext trace) {
   auto& slot = servers_[server];
   sim::Promise<Result<Bytes>> done(sim_);
   auto future = done.GetFuture();
   const std::uint64_t request = cost_.header_bytes + key.size();
+  trace::TraceContext op_span = trace::Child(trace, "kv.get", "kv");
+  trace::Annotate(op_span, "server", std::to_string(server));
   auto* state = slot.state.get();
   const ServerSlotAccess access = AccessOf(slot);
   auto shared_key = std::make_shared<std::string>(std::move(key));
   RunWithRetry<Result<Bytes>>(
       server,
       [this, access, client, request, state,
-       shared_key](std::shared_ptr<RaceState<Result<Bytes>>> race) {
+       shared_key](std::shared_ptr<RaceState<Result<Bytes>>> race,
+                   trace::TraceContext attempt_span) {
         RunGetAttempt(sim_, network_, access, client, request, cost_, state,
-                      *shared_key, std::move(race));
+                      *shared_key, std::move(race), attempt_span);
       },
-      std::move(done));
+      std::move(done), op_span);
   if (metrics_ != nullptr) {
     RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.get"), sim_.now());
   }

@@ -38,6 +38,7 @@
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "trace/trace.h"
 
 namespace memfs::kv {
 
@@ -119,16 +120,23 @@ class KvCluster {
 
   // All operations are addressed by server index (the caller's Distributor
   // picks the index) and carry the issuing client's node for the network leg.
+  // `trace` (optional) parents a "kv" span covering the whole operation —
+  // every attempt, backoff wait and breaker rejection is recorded under it.
   [[nodiscard]] sim::Future<Status> Set(net::NodeId client, std::uint32_t server,
-                          std::string key, Bytes value);
+                          std::string key, Bytes value,
+                          trace::TraceContext trace = {});
   [[nodiscard]] sim::Future<Status> Add(net::NodeId client, std::uint32_t server,
-                          std::string key, Bytes value);
+                          std::string key, Bytes value,
+                          trace::TraceContext trace = {});
   [[nodiscard]] sim::Future<Result<Bytes>> Get(net::NodeId client, std::uint32_t server,
-                                 std::string key);
+                                 std::string key,
+                                 trace::TraceContext trace = {});
   [[nodiscard]] sim::Future<Status> Append(net::NodeId client, std::uint32_t server,
-                             std::string key, Bytes suffix);
+                             std::string key, Bytes suffix,
+                             trace::TraceContext trace = {});
   [[nodiscard]] sim::Future<Status> Delete(net::NodeId client, std::uint32_t server,
-                             std::string key);
+                             std::string key,
+                             trace::TraceContext trace = {});
 
   // Aggregate stored bytes across all servers (Fig. 9-style accounting).
   std::uint64_t total_memory_used() const;
@@ -179,13 +187,15 @@ class KvCluster {
   }
 
   // Retry driver: runs `launch` attempts (each writing into a fresh race
-  // slot) under the client policy until success, a non-retryable status, or
-  // exhaustion. T is Status or Result<Bytes>.
+  // slot, under a fresh "kv.attempt" child of `op_span`) under the client
+  // policy until success, a non-retryable status, or exhaustion. T is Status
+  // or Result<Bytes>. Owns ending `op_span`.
   template <typename T>
-  sim::Task RunWithRetry(std::uint32_t server,
-                         std::function<void(std::shared_ptr<RaceState<T>>)>
-                             launch,
-                         sim::Promise<T> done);
+  sim::Task RunWithRetry(
+      std::uint32_t server,
+      std::function<void(std::shared_ptr<RaceState<T>>, trace::TraceContext)>
+          launch,
+      sim::Promise<T> done, trace::TraceContext op_span);
 
   // Shared front half of Set/Add/Append/Delete: wraps `apply` (already bound
   // to the server state, key and value) in the retry driver and records the
@@ -193,7 +203,7 @@ class KvCluster {
   [[nodiscard]] sim::Future<Status> Mutate(net::NodeId client, std::uint32_t server,
                              std::uint64_t request_bytes, sim::SimTime service,
                              std::function<Status()> apply,
-                             const char* metric);
+                             const char* metric, trace::TraceContext trace);
 
   sim::Simulation& sim_;
   net::Network& network_;

@@ -70,21 +70,27 @@ std::uint32_t MemFs::ReplicaServer(std::uint32_t epoch, std::string_view key,
 sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
                                        std::string key, Bytes value,
                                        bool append,
-                                       sim::Promise<Status> done) {
+                                       sim::Promise<Status> done,
+                                       trace::TraceContext trace) {
   const std::uint32_t replicas = ReplicaCount(epoch);
   if (replicas == 1) {
+    // Single copy: no replica layer to show — the kv op span hangs directly
+    // off the caller's span.
     const std::uint32_t server = ReplicaServer(epoch, key, 0);
     Status status;
     if (append) {
       status = co_await storage_.Append(node, server, std::move(key),
-                                        std::move(value));
+                                        std::move(value), trace);
     } else {
-      status =
-          co_await storage_.Set(node, server, std::move(key), std::move(value));
+      status = co_await storage_.Set(node, server, std::move(key),
+                                     std::move(value), trace);
     }
     done.Set(std::move(status));
     co_return;
   }
+  trace::ScopedSpan span(trace, append ? "replica.append" : "replica.set",
+                         "replica");
+  const trace::TraceContext tctx = span.context();
   // All replicas written in parallel. Strict mode succeeds only if every
   // replica acknowledges (a down replica fails the write — the paper's
   // stated cost of replication, which is why it defaults off). Degraded mode
@@ -94,8 +100,8 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
   futures.reserve(replicas);
   for (std::uint32_t r = 0; r < replicas; ++r) {
     const std::uint32_t server = ReplicaServer(epoch, key, r);
-    futures.push_back(append ? storage_.Append(node, server, key, value)
-                             : storage_.Set(node, server, key, value));
+    futures.push_back(append ? storage_.Append(node, server, key, value, tctx)
+                             : storage_.Set(node, server, key, value, tctx));
   }
   std::uint32_t acks = 0;
   Status first_error;
@@ -116,6 +122,7 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
   // Only availability errors are forgivable; a replica that answered with a
   // real error (NO_SPACE, NOT_FOUND on append...) still fails the write.
   if (acks > 0 && config_.degraded_writes && all_errors_retryable) {
+    trace::Event(tctx, "degraded_write");
     ++stats_.degraded_writes;
     if (config_.metrics != nullptr) {
       ++config_.metrics->Counter("fs.degraded_writes");
@@ -128,37 +135,47 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
 
 sim::Future<Status> MemFs::ReplicatedSet(std::uint32_t epoch,
                                          net::NodeId node, std::string key,
-                                         Bytes value) {
+                                         Bytes value,
+                                         trace::TraceContext trace) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
   RunReplicatedMutation(epoch, node, std::move(key), std::move(value),
-                        /*append=*/false, std::move(done));
+                        /*append=*/false, std::move(done), trace);
   return future;
 }
 
 sim::Future<Status> MemFs::ReplicatedAppend(std::uint32_t epoch,
                                             net::NodeId node, std::string key,
-                                            Bytes suffix) {
+                                            Bytes suffix,
+                                            trace::TraceContext trace) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
   RunReplicatedMutation(epoch, node, std::move(key), std::move(suffix),
-                        /*append=*/true, std::move(done));
+                        /*append=*/true, std::move(done), trace);
   return future;
 }
 
 sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
                                   std::string key, Bytes value,
-                                  sim::Promise<Status> done) {
+                                  sim::Promise<Status> done,
+                                  trace::TraceContext trace) {
   const std::uint32_t replicas = ReplicaCount(epoch);
   // Strict mode keeps the original semantics: the record's home server alone
   // arbitrates ADD.
   const std::uint32_t tries = config_.degraded_writes ? replicas : 1;
+  trace::ScopedSpan span;
+  trace::TraceContext tctx = trace;
+  if (tries > 1) {
+    span = trace::ScopedSpan(trace, "replica.add", "replica");
+    tctx = span.context();
+  }
   Status last = status::Unavailable("no replicas");
   for (std::uint32_t r = 0; r < tries; ++r) {
     last = co_await storage_.Add(node, ReplicaServer(epoch, key, r), key,
-                                 value);
+                                 value, tctx);
     if (last.ok()) {
       if (r > 0) {
+        trace::Event(tctx, "write_failover");
         ++stats_.write_failovers;
         if (config_.metrics != nullptr) {
           ++config_.metrics->Counter("fs.write_failovers");
@@ -174,23 +191,31 @@ sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
 }
 
 sim::Future<Status> MemFs::ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
-                                         std::string key, Bytes value) {
+                                         std::string key, Bytes value,
+                                         trace::TraceContext trace) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
   RunReplicatedAdd(epoch, node, std::move(key), std::move(value),
-                   std::move(done));
+                   std::move(done), trace);
   return future;
 }
 
 sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                      std::string key,
-                                     sim::Promise<Status> done) {
+                                     sim::Promise<Status> done,
+                                     trace::TraceContext trace) {
   const std::uint32_t replicas = ReplicaCount(epoch);
+  trace::ScopedSpan span;
+  trace::TraceContext tctx = trace;
+  if (replicas > 1) {
+    span = trace::ScopedSpan(trace, "replica.delete", "replica");
+    tctx = span.context();
+  }
   std::vector<sim::Future<Status>> futures;
   futures.reserve(replicas);
   for (std::uint32_t r = 0; r < replicas; ++r) {
     futures.push_back(
-        storage_.Delete(node, ReplicaServer(epoch, key, r), key));
+        storage_.Delete(node, ReplicaServer(epoch, key, r), key, tctx));
   }
   Status result;
   for (auto& future : futures) {
@@ -204,28 +229,37 @@ sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
 
 sim::Future<Status> MemFs::ReplicatedDelete(std::uint32_t epoch,
                                             net::NodeId node,
-                                            std::string key) {
+                                            std::string key,
+                                            trace::TraceContext trace) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
-  RunReplicatedDelete(epoch, node, std::move(key), std::move(done));
+  RunReplicatedDelete(epoch, node, std::move(key), std::move(done), trace);
   return future;
 }
 
 sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
                                 std::string key,
-                                sim::Promise<Result<Bytes>> done) {
+                                sim::Promise<Result<Bytes>> done,
+                                trace::TraceContext trace) {
   const std::uint32_t replicas = ReplicaCount(epoch);
   const std::uint32_t passes =
       std::max<std::uint32_t>(config_.read_chain_attempts, 1);
+  trace::ScopedSpan span;
+  trace::TraceContext tctx = trace;
+  if (replicas > 1) {
+    span = trace::ScopedSpan(trace, "replica.get", "replica");
+    tctx = span.context();
+  }
   Status unreachable;
   for (std::uint32_t pass = 0; pass < passes; ++pass) {
     std::uint32_t not_found = 0;
     std::vector<std::uint32_t> missing;  // reachable replicas lacking the key
     for (std::uint32_t r = 0; r < replicas; ++r) {
       const std::uint32_t server = ReplicaServer(epoch, key, r);
-      Result<Bytes> got = co_await storage_.Get(node, server, key);
+      Result<Bytes> got = co_await storage_.Get(node, server, key, tctx);
       if (got.ok()) {
         if (r > 0) {
+          trace::Event(tctx, "failover");
           ++stats_.replica_failovers;
           if (config_.metrics != nullptr) {
             ++config_.metrics->Counter("fs.replica_failovers");
@@ -233,6 +267,7 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
           // Read repair: a replica that answered NOT_FOUND is reachable but
           // lost its copy (wipe-on-restart); reinstall it in the background.
           for (std::uint32_t target : missing) {
+            trace::Event(tctx, "read_repair");
             RunReadRepair(node, target, key, got.value());
           }
         }
@@ -255,6 +290,8 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
     // again after an escalating delay (it may be restarting, or its breaker
     // may be about to half-open).
     if (pass + 1 < passes) {
+      trace::Event(tctx, "pass_retry");
+      trace::ScopedSpan wait(tctx, "chain_backoff", "retry");
       co_await sim_.Delay(storage_.cost_model().failure_timeout * (pass + 1));
     }
   }
@@ -277,10 +314,11 @@ sim::Task MemFs::RunReadRepair(net::NodeId node, std::uint32_t server,
 
 sim::Future<Result<Bytes>> MemFs::FailoverGet(std::uint32_t epoch,
                                               net::NodeId node,
-                                              std::string key) {
+                                              std::string key,
+                                              trace::TraceContext trace) {
   sim::Promise<Result<Bytes>> done(sim_);
   auto future = done.GetFuture();
-  RunFailoverGet(epoch, node, std::move(key), std::move(done));
+  RunFailoverGet(epoch, node, std::move(key), std::move(done), trace);
   return future;
 }
 
@@ -335,7 +373,13 @@ sim::Future<Result<FileHandle>> MemFs::Create(VfsContext ctx,
 
 sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
                           sim::Promise<Result<FileHandle>> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.create", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   if (!path::IsNormalized(path) || path == "/") {
     done.Set(status::InvalidArgument("bad path"));
     co_return;
@@ -343,7 +387,7 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
   // Register an unsealed file record; ADD makes concurrent double-create
   // lose deterministically (write-once implies a single writer).
   Status added = co_await ReplicatedAdd(
-      0, ctx.node, path, meta::EncodeFile({0, false, current_epoch()}));
+      0, ctx.node, path, meta::EncodeFile({0, false, current_epoch()}), tctx);
   if (!added.ok()) {
     done.Set(added.code() == ErrorCode::kExists
                  ? status::Exists(path)
@@ -354,12 +398,12 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
   // replicas).
   const std::string parent = path::Parent(path);
   Status linked = co_await ReplicatedAppend(
-      0, ctx.node, parent, meta::DirEvent(path::Basename(path), false));
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), false), tctx);
   if (!linked.ok()) {
     // Parent does not exist: roll the file record back. Best-effort — the
     // create already fails with NOT_FOUND and an orphaned record is inert.
     // lint: allow(ignored-status) best-effort rollback of an inert record
-    co_await ReplicatedDelete(0, ctx.node, path);
+    co_await ReplicatedDelete(0, ctx.node, path, tctx);
     done.Set(status::NotFound("parent directory: " + parent));
     co_return;
   }
@@ -394,7 +438,13 @@ sim::Future<Status> MemFs::Write(VfsContext ctx, FileHandle handle,
 
 sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
                          sim::Promise<Status> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.write", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "bytes", std::to_string(data.size()));
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   auto found = FindHandle(handle, /*writing=*/true);
   if (!found.ok()) {
     done.Set(found.status());
@@ -416,40 +466,55 @@ sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
     sim::VoidPromise accepted(sim_);
     auto accepted_future = accepted.GetFuture();
     SubmitStripe(file, file->next_stripe++, std::move(stripe),
-                 std::move(accepted));
+                 std::move(accepted), tctx);
     co_await accepted_future;
   }
   done.Set(file->first_error);
 }
 
 sim::Task MemFs::SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
-                              sim::VoidPromise accepted) {
+                              sim::VoidPromise accepted,
+                              trace::TraceContext trace) {
   const std::string key = Striper::StripeKey(file->path, index);
   if (config_.io_threads == 0) {
     // No buffering (Fig. 3b baseline): the write call itself carries the
     // transfer.
+    trace::ScopedSpan span(trace, "stripe.put", "striper");
+    trace::Annotate(span.context(), "key", key);
     ++stats_.stripe_sets;
-    Status status =
-        co_await ReplicatedSet(file->epoch, file->node, key, std::move(data));
+    Status status = co_await ReplicatedSet(file->epoch, file->node, key,
+                                           std::move(data), span.context());
     if (!status.ok() && file->first_error.ok()) file->first_error = status;
     accepted.Set(sim::Done{});
     co_return;
   }
   // Backpressure permit: FlushStripe's completion path releases it once the
   // stripe lands on the servers, bounding buffered bytes per handle.
-  // lint: allow(acquire-release) released by the flush completion, not here
-  co_await file->tokens->Acquire();  // buffer-capacity backpressure
+  {
+    trace::ScopedSpan wait(trace, "buffer.wait", "queue");
+    // lint: allow(acquire-release) released by the flush completion, not here
+    co_await file->tokens->Acquire();  // buffer-capacity backpressure
+  }
   file->inflight->Add();
-  FlushStripe(file, key, std::move(data));
+  FlushStripe(file, key, std::move(data), trace);
   accepted.Set(sim::Done{});
 }
 
-sim::Task MemFs::FlushStripe(OpenFile* file, std::string key, Bytes data) {
+sim::Task MemFs::FlushStripe(OpenFile* file, std::string key, Bytes data,
+                             trace::TraceContext trace) {
+  // The stripe span outlives its parent vfs.write span by design: buffered
+  // stripes drain asynchronously and the write call returns on admission.
+  trace::ScopedSpan span(trace, "stripe.put", "striper");
+  trace::Annotate(span.context(), "key", key);
   auto& pool = *write_pool_[file->node];
-  co_await pool.Acquire();
+  {
+    trace::ScopedSpan wait(span.context(), "write_pool.wait", "queue");
+    co_await pool.Acquire();
+  }
   ++stats_.stripe_sets;
-  Status status = co_await ReplicatedSet(file->epoch, file->node,
-                                         std::move(key), std::move(data));
+  Status status =
+      co_await ReplicatedSet(file->epoch, file->node, std::move(key),
+                             std::move(data), span.context());
   pool.Release();
   if (!status.ok() && file->first_error.ok()) file->first_error = status;
   file->tokens->Release();
@@ -469,7 +534,12 @@ sim::Future<Status> MemFs::Flush(VfsContext ctx, FileHandle handle) {
 
 sim::Task MemFs::DoFlush(VfsContext ctx, FileHandle handle,
                          sim::Promise<Status> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.flush", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   auto it = handles_.find(handle);
   if (it == handles_.end()) {
     done.Set(status::BadHandle());
@@ -501,7 +571,12 @@ sim::Future<Status> MemFs::Close(VfsContext ctx, FileHandle handle) {
 
 sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
                          sim::Promise<Status> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.close", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   auto it = handles_.find(handle);
   if (it == handles_.end()) {
     done.Set(status::BadHandle());
@@ -516,7 +591,7 @@ sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
       sim::VoidPromise accepted(sim_);
       auto accepted_future = accepted.GetFuture();
       SubmitStripe(file, file->next_stripe++, std::move(tail),
-                   std::move(accepted));
+                     std::move(accepted), tctx);
       co_await accepted_future;
     }
     // close() returns only after the write buffer has drained (§3.2.2).
@@ -527,7 +602,7 @@ sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
       // on every replica.
       result = co_await ReplicatedSet(
           0, ctx.node, file->path,
-          meta::EncodeFile({file->written, true, file->epoch}));
+          meta::EncodeFile({file->written, true, file->epoch}), tctx);
     }
   }
   handles_.erase(handle);
@@ -550,8 +625,14 @@ sim::Future<Result<FileHandle>> MemFs::Open(VfsContext ctx, std::string path) {
 
 sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
                         sim::Promise<Result<FileHandle>> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
-  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.open", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
     co_return;
@@ -603,7 +684,14 @@ sim::Future<Result<Bytes>> MemFs::Read(VfsContext ctx, FileHandle handle,
 sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
                         std::uint64_t offset, std::uint64_t length,
                         sim::Promise<Result<Bytes>> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.read", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "offset", std::to_string(offset));
+  trace::Annotate(tctx, "length", std::to_string(length));
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   auto found = FindHandle(handle, /*writing=*/false);
   if (!found.ok()) {
     done.Set(found.status());
@@ -618,7 +706,8 @@ sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
   std::vector<sim::Future<Result<Bytes>>> futures;
   futures.reserve(spans.size());
   for (const auto& span : spans) {
-    futures.push_back(EnsureStripe(file, span.stripe, /*prefetch=*/false));
+    futures.push_back(
+        EnsureStripe(file, span.stripe, /*prefetch=*/false, tctx));
   }
 
   if (config_.prefetch_depth > 0 && !spans.empty() &&
@@ -636,7 +725,7 @@ sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
       const std::uint32_t idx = last + ahead;
       if (idx >= stripe_count) break;
       // Prefetched stripes park in the cache; nobody awaits them here.
-      (void)EnsureStripe(file, idx, /*prefetch=*/true);
+      (void)EnsureStripe(file, idx, /*prefetch=*/true, tctx);
     }
   }
 
@@ -667,15 +756,20 @@ sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
 
 sim::Future<Result<Bytes>> MemFs::EnsureStripe(OpenFile* file,
                                                std::uint32_t index,
-                                               bool prefetch) {
+                                               bool prefetch,
+                                               trace::TraceContext trace) {
   auto it = file->cache.find(index);
   if (it != file->cache.end()) {
-    if (!prefetch) ++stats_.cache_hits;
+    if (!prefetch) {
+      trace::Event(trace, "stripe_cache_hit");
+      ++stats_.cache_hits;
+    }
     return it->second;
   }
   if (!prefetch) {
     ++stats_.cache_misses;
   } else {
+    trace::Event(trace, "prefetch_issued");
     ++stats_.prefetch_issued;
   }
 
@@ -695,17 +789,27 @@ sim::Future<Result<Bytes>> MemFs::EnsureStripe(OpenFile* file,
   }
 
   FetchStripe(file->node, file->epoch,
-              Striper::StripeKey(file->path, index), std::move(promise));
+              Striper::StripeKey(file->path, index), std::move(promise),
+              trace);
   return future;
 }
 
 sim::Task MemFs::FetchStripe(net::NodeId node, std::uint32_t epoch,
                              std::string key,
-                             sim::Promise<Result<Bytes>> promise) {
+                             sim::Promise<Result<Bytes>> promise,
+                             trace::TraceContext trace) {
+  // A prefetched stripe's span outlives the read that issued it; it still
+  // parents correctly because contexts are values, not stack state.
+  trace::ScopedSpan span(trace, "stripe.get", "striper");
+  trace::Annotate(span.context(), "key", key);
   auto& pool = *read_pool_[node];
-  co_await pool.Acquire();
+  {
+    trace::ScopedSpan wait(span.context(), "read_pool.wait", "queue");
+    co_await pool.Acquire();
+  }
   ++stats_.stripe_gets;
-  Result<Bytes> result = co_await FailoverGet(epoch, node, std::move(key));
+  Result<Bytes> result =
+      co_await FailoverGet(epoch, node, std::move(key), span.context());
   pool.Release();
   promise.Set(std::move(result));
 }
@@ -722,12 +826,19 @@ sim::Future<Status> MemFs::Mkdir(VfsContext ctx, std::string path) {
 
 sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
                          sim::Promise<Status> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.mkdir", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   if (!path::IsNormalized(path) || path == "/") {
     done.Set(status::InvalidArgument("bad path"));
     co_return;
   }
-  Status added = co_await ReplicatedAdd(0, ctx.node, path, meta::DirHeader());
+  Status added =
+      co_await ReplicatedAdd(0, ctx.node, path, meta::DirHeader(), tctx);
   if (!added.ok()) {
     done.Set(added);
     co_return;
@@ -736,14 +847,14 @@ sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
   // that is down stays empty until read repair finds it).
   for (std::uint32_t r = 1; r < ReplicaCount(0); ++r) {
     co_await storage_.Set(ctx.node, ReplicaServer(0, path, r), path,
-                          meta::DirHeader());
+                          meta::DirHeader(), tctx);
   }
   const std::string parent = path::Parent(path);
   Status linked = co_await ReplicatedAppend(
-      0, ctx.node, parent, meta::DirEvent(path::Basename(path), false));
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), false), tctx);
   if (!linked.ok()) {
     // lint: allow(ignored-status) best-effort rollback of an inert record
-    co_await ReplicatedDelete(0, ctx.node, path);
+    co_await ReplicatedDelete(0, ctx.node, path, tctx);
     done.Set(status::NotFound("parent directory: " + parent));
     co_return;
   }
@@ -760,8 +871,14 @@ sim::Future<Result<std::vector<FileInfo>>> MemFs::ReadDir(VfsContext ctx,
 
 sim::Task MemFs::DoReadDir(VfsContext ctx, std::string path,
                            sim::Promise<Result<std::vector<FileInfo>>> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
-  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.readdir", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
     co_return;
@@ -794,8 +911,14 @@ sim::Future<Result<FileInfo>> MemFs::Stat(VfsContext ctx, std::string path) {
 
 sim::Task MemFs::DoStat(VfsContext ctx, std::string path,
                         sim::Promise<Result<FileInfo>> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
-  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.stat", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
     co_return;
@@ -825,12 +948,18 @@ sim::Future<Status> MemFs::Rmdir(VfsContext ctx, std::string path) {
 
 sim::Task MemFs::DoRmdir(VfsContext ctx, std::string path,
                          sim::Promise<Status> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.rmdir", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
   if (!path::IsNormalized(path) || path == "/") {
     done.Set(status::InvalidArgument("bad path"));
     co_return;
   }
-  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
     co_return;
@@ -853,12 +982,12 @@ sim::Task MemFs::DoRmdir(VfsContext ctx, std::string path,
   // silently continuing would leave a phantom entry in the parent's log.
   const std::string parent = path::Parent(path);
   Status tombstoned = co_await ReplicatedAppend(
-      0, ctx.node, parent, meta::DirEvent(path::Basename(path), true));
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), true), tctx);
   if (!tombstoned.ok()) {
     done.Set(std::move(tombstoned));
     co_return;
   }
-  Status dropped = co_await ReplicatedDelete(0, ctx.node, path);
+  Status dropped = co_await ReplicatedDelete(0, ctx.node, path, tctx);
   done.Set(std::move(dropped));
 }
 
@@ -871,8 +1000,14 @@ sim::Future<Status> MemFs::Unlink(VfsContext ctx, std::string path) {
 
 sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
                           sim::Promise<Status> done) {
-  co_await fuse_.Enter(ctx.node, ctx.process);
-  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path);
+  trace::ScopedSpan op_span(ctx.trace, "vfs.unlink", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
     co_return;
@@ -894,12 +1029,12 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
   // record that is still openable.
   const std::string parent = path::Parent(path);
   Status tombstoned = co_await ReplicatedAppend(
-      0, ctx.node, parent, meta::DirEvent(path::Basename(path), true));
+      0, ctx.node, parent, meta::DirEvent(path::Basename(path), true), tctx);
   if (!tombstoned.ok()) {
     done.Set(std::move(tombstoned));
     co_return;
   }
-  Status dropped = co_await ReplicatedDelete(0, ctx.node, path);
+  Status dropped = co_await ReplicatedDelete(0, ctx.node, path, tctx);
   if (!dropped.ok()) {
     done.Set(std::move(dropped));
     co_return;
@@ -911,8 +1046,8 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
   sim::WaitGroup wg(sim_);
   for (std::uint32_t i = 0; i < stripes; ++i) {
     wg.Add();
-    auto deletion =
-        ReplicatedDelete(stripe_epoch, ctx.node, Striper::StripeKey(path, i));
+    auto deletion = ReplicatedDelete(stripe_epoch, ctx.node,
+                                     Striper::StripeKey(path, i), tctx);
     [](sim::Future<Status> f, sim::WaitGroup& group) -> sim::Task {
       co_await f;
       group.Done();

@@ -191,32 +191,41 @@ class MemFs final : public Vfs {
   // plain single-server operations. `epoch` selects the placement ring
   // (metadata uses 0, stripes their file's epoch).
   [[nodiscard]] sim::Future<Status> ReplicatedSet(std::uint32_t epoch, net::NodeId node,
-                                    std::string key, Bytes value);
+                                    std::string key, Bytes value,
+                                    trace::TraceContext trace);
   // ADD with failover: tries replicas in ring order until one is reachable;
   // that replica's verdict (OK or EXISTS) decides. Degraded mode only — in
   // strict mode the primary alone is tried.
   [[nodiscard]] sim::Future<Status> ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
-                                    std::string key, Bytes value);
+                                    std::string key, Bytes value,
+                                    trace::TraceContext trace);
   [[nodiscard]] sim::Future<Status> ReplicatedAppend(std::uint32_t epoch, net::NodeId node,
-                                       std::string key, Bytes suffix);
+                                       std::string key, Bytes suffix,
+                                       trace::TraceContext trace);
   [[nodiscard]] sim::Future<Status> ReplicatedDelete(std::uint32_t epoch, net::NodeId node,
-                                       std::string key);
+                                       std::string key,
+                                       trace::TraceContext trace);
   // Tries replicas in ring order until one answers; NOT_FOUND only if every
   // reachable replica lacks the key.
   [[nodiscard]] sim::Future<Result<Bytes>> FailoverGet(std::uint32_t epoch,
-                                         net::NodeId node, std::string key);
+                                         net::NodeId node, std::string key,
+                                         trace::TraceContext trace);
 
   sim::Task RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
                                   std::string key, Bytes value, bool append,
-                                  sim::Promise<Status> done);
+                                  sim::Promise<Status> done,
+                                  trace::TraceContext trace);
   sim::Task RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
                              std::string key, Bytes value,
-                             sim::Promise<Status> done);
+                             sim::Promise<Status> done,
+                             trace::TraceContext trace);
   sim::Task RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
-                                std::string key, sim::Promise<Status> done);
+                                std::string key, sim::Promise<Status> done,
+                                trace::TraceContext trace);
   sim::Task RunFailoverGet(std::uint32_t epoch, net::NodeId node,
                            std::string key,
-                           sim::Promise<Result<Bytes>> done);
+                           sim::Promise<Result<Bytes>> done,
+                           trace::TraceContext trace);
   // Fire-and-forget reinstall of a copy that a failover read found missing.
   sim::Task RunReadRepair(net::NodeId node, std::uint32_t server,
                           std::string key, Bytes value);
@@ -227,16 +236,19 @@ class MemFs final : public Vfs {
   // respecting buffer capacity and pool width. Awaited by the writer, so
   // backpressure blocks the application exactly when the 8 MB buffer is full.
   sim::Task SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
-                         sim::VoidPromise accepted);
-  sim::Task FlushStripe(OpenFile* file, std::string key, Bytes data);
+                         sim::VoidPromise accepted, trace::TraceContext trace);
+  sim::Task FlushStripe(OpenFile* file, std::string key, Bytes data,
+                        trace::TraceContext trace);
 
   // Returns the cached or newly fetched stripe future; starts a fetch task
   // when absent.
   [[nodiscard]] sim::Future<Result<Bytes>> EnsureStripe(OpenFile* file, std::uint32_t index,
-                                          bool prefetch);
+                                          bool prefetch,
+                                          trace::TraceContext trace);
   sim::Task FetchStripe(net::NodeId node, std::uint32_t epoch,
                         std::string key,
-                        sim::Promise<Result<Bytes>> promise);
+                        sim::Promise<Result<Bytes>> promise,
+                        trace::TraceContext trace);
 
   // Operation bodies (coroutines writing into promises).
   sim::Task DoCreate(VfsContext ctx, std::string path,

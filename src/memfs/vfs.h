@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "net/network.h"
 #include "sim/future.h"
+#include "trace/trace.h"
 
 namespace memfs::fs {
 
@@ -29,8 +30,17 @@ using FileHandle = std::uint64_t;
 // (the process index selects the FUSE mountpoint under the multi-mount
 // deployment of Fig. 10b).
 struct VfsContext {
+  VfsContext() = default;
+  VfsContext(net::NodeId node_id, std::uint32_t process_id,
+             trace::TraceContext span = {})
+      : node(node_id), process(process_id), trace(span) {}
+
   net::NodeId node = 0;
   std::uint32_t process = 0;
+  // Active trace span of the calling operation; inactive (null tracer) by
+  // default. Contexts are values — this is how a workflow task's span
+  // propagates into the file system without thread-local state.
+  trace::TraceContext trace;
 };
 
 struct FileInfo {

@@ -15,19 +15,25 @@ Runner::Runner(sim::Simulation& sim, fs::Vfs& vfs, Scheduler& scheduler,
 WorkflowResult Runner::Run(const Workflow& workflow) {
   WorkflowResult result;
   result.started = sim_.now();
+  trace::TraceContext root;
+  if (config_.tracer != nullptr) {
+    root = config_.tracer->StartTrace("workflow:" + workflow.name, "workflow");
+    result.trace_id = root.trace_id;
+  }
   bool finished = false;
-  Drive(workflow, &result, &finished);
+  Drive(workflow, &result, &finished, root);
   sim_.Run();
   assert(finished && "workflow driver deadlocked");
   return result;
 }
 
 sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
-                        bool* finished_flag) {
+                        bool* finished_flag, trace::TraceContext root) {
+  trace::ScopedSpan workflow_span = trace::ScopedSpan::Adopt(root);
   // Workflow setup: create the directory tree (from node 0, like the
   // submission host would).
   for (const auto& dir : workflow.directories) {
-    Status made = co_await vfs_.Mkdir(fs::VfsContext{0, 0}, dir);
+    Status made = co_await vfs_.Mkdir(fs::VfsContext{0, 0, root}, dir);
     if (!made.ok() && made.code() != ErrorCode::kExists) {
       result->status = std::move(made);
       result->finished = sim_.now();
@@ -99,7 +105,7 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
           --free_cores[n];
           const std::uint32_t slot = free_slots[n].back();
           free_slots[n].pop_back();
-          ExecuteTask(workflow.tasks[index], index, n, slot);
+          ExecuteTask(workflow.tasks[index], index, n, slot, root);
           ++running;
           ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pos));
           placed_any = true;
@@ -132,6 +138,17 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
     stage.bytes_written += completion.bytes_written;
     result->bytes_read += completion.bytes_read;
     result->bytes_written += completion.bytes_written;
+    if (config_.metrics != nullptr) {
+      ++config_.metrics->Counter("mtc.tasks_run");
+      if (!completion.status.ok()) {
+        ++config_.metrics->Counter("mtc.task_failures");
+      }
+      config_.metrics->Counter("mtc.bytes_read") += completion.bytes_read;
+      config_.metrics->Counter("mtc.bytes_written") +=
+          completion.bytes_written;
+      config_.metrics->Histogram("mtc.task")
+          .Record(completion.ended - completion.started);
+    }
 
     if (!completion.status.ok() && result->status.ok()) {
       result->status = completion.status;
@@ -171,8 +188,13 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
 }
 
 sim::Task Runner::ExecuteTask(const TaskSpec& task, std::size_t index,
-                              net::NodeId node, std::uint32_t slot) {
-  const fs::VfsContext ctx{node, slot};
+                              net::NodeId node, std::uint32_t slot,
+                              trace::TraceContext root) {
+  trace::ScopedSpan task_span =
+      trace::ScopedSpan::Adopt(trace::ChildOn(root, task.name, "task", node));
+  trace::Annotate(task_span.context(), "stage", task.stage);
+  trace::Annotate(task_span.context(), "slot", std::to_string(slot));
+  const fs::VfsContext ctx{node, slot, task_span.context()};
   Completion completion;
   completion.task_index = index;
   completion.node = node;
@@ -195,6 +217,7 @@ sim::Task Runner::ExecuteTask(const TaskSpec& task, std::size_t index,
   }
 
   if (status.ok() && task.cpu_time > 0) {
+    trace::ScopedSpan compute(task_span.context(), "compute", "compute");
     co_await sim_.Delay(task.cpu_time);
   }
 

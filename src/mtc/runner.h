@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "memfs/vfs.h"
@@ -27,6 +28,7 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "sim/trace.h"
+#include "trace/trace.h"
 
 namespace memfs::mtc {
 
@@ -42,6 +44,15 @@ struct RunnerConfig {
   // Optional caller-owned Chrome-trace recorder: one span per task
   // (pid = node, tid = core slot, category = stage).
   sim::TraceRecorder* trace = nullptr;
+  // Optional caller-owned workflow counters: mtc.tasks_run,
+  // mtc.task_failures, mtc.bytes_read/written, and an mtc.task duration
+  // histogram — the same registry the benches already print.
+  MetricsRegistry* metrics = nullptr;
+  // Optional caller-owned request tracer. Each Run() opens one trace rooted
+  // at a "workflow:<name>" span; every task runs under its own span and the
+  // context flows through the VFS into stripes, kv attempts and network
+  // legs, so the whole DAG is one causal tree (see trace/critical_path.h).
+  trace::Tracer* tracer = nullptr;
 };
 
 struct StageStats {
@@ -77,6 +88,8 @@ struct WorkflowResult {
   std::vector<StageStats> stages;  // ordered by first start
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  // Trace of this run (0 when RunnerConfig::tracer is null).
+  trace::TraceId trace_id = 0;
 
   double MakespanSeconds() const {
     return units::ToSeconds(finished - started);
@@ -111,9 +124,10 @@ class Runner {
   };
 
   sim::Task Drive(const Workflow& workflow, WorkflowResult* result,
-                  bool* finished_flag);
+                  bool* finished_flag, trace::TraceContext root);
   sim::Task ExecuteTask(const TaskSpec& task, std::size_t index,
-                        net::NodeId node, std::uint32_t slot);
+                        net::NodeId node, std::uint32_t slot,
+                        trace::TraceContext root);
 
   // Reads `path` fully in io_block chunks; returns bytes read or an error.
   // Verifies content against FileSeed(path) when verify_reads is set.

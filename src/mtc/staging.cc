@@ -8,7 +8,13 @@ namespace memfs::mtc {
 sim::Task Stager::CopyOneFile(fs::Vfs& source, fs::Vfs& destination,
                               std::string path, fs::VfsContext ctx,
                               Shared* shared) {
-  co_await shared->streams->Acquire();
+  trace::ScopedSpan span(config_.trace, "staging.file", "staging");
+  trace::Annotate(span.context(), "path", path);
+  ctx.trace = span.context();
+  {
+    trace::ScopedSpan wait(span.context(), "stream.wait", "queue");
+    co_await shared->streams->Acquire();
+  }
 
   Status status;
   auto src = co_await source.Open(ctx, path);
@@ -39,6 +45,10 @@ sim::Task Stager::CopyOneFile(fs::Vfs& source, fs::Vfs& destination,
       if (status.ok()) {
         shared->bytes += offset;
         ++shared->files;
+        if (config_.metrics != nullptr) {
+          ++config_.metrics->Counter(config_.metric_prefix + ".files");
+          config_.metrics->Counter(config_.metric_prefix + ".bytes") += offset;
+        }
       }
     }
     (void)co_await source.Close(ctx, src.value());
@@ -61,7 +71,7 @@ StagingReport Stager::CopyFiles(fs::Vfs& source, fs::Vfs& destination,
   std::uint32_t next_node = 0;
   for (const auto& path : paths) {
     wg.Add();
-    const fs::VfsContext ctx{next_node, 0};
+    const fs::VfsContext ctx{next_node, 0, {}};
     next_node = (next_node + 1) % std::max<std::uint32_t>(config_.nodes, 1);
     CopyOneFile(source, destination, path, ctx, &shared);
   }
@@ -79,7 +89,7 @@ sim::Task Stager::ListTree(fs::Vfs& source, std::string root,
                            std::vector<std::string>* files,
                            std::vector<std::string>* dirs, Status* status,
                            bool* done) {
-  const fs::VfsContext ctx{0, 0};
+  const fs::VfsContext ctx{0, 0, config_.trace};
   std::deque<std::string> pending;
   pending.push_back(std::move(root));
   while (!pending.empty()) {
@@ -134,7 +144,7 @@ StagingReport Stager::CopyTree(fs::Vfs& source, fs::Vfs& destination,
   [](fs::Vfs& dst, std::vector<std::string> tree, Status* out,
      bool* flag) -> sim::Task {
     for (const auto& dir : tree) {
-      Status made = co_await dst.Mkdir(fs::VfsContext{0, 0}, dir);
+      Status made = co_await dst.Mkdir(fs::VfsContext{0, 0, {}}, dir);
       if (!made.ok() && made.code() != ErrorCode::kExists) {
         *out = std::move(made);
         break;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "memfs/vfs.h"
@@ -20,6 +21,7 @@
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "trace/trace.h"
 
 namespace memfs::mtc {
 
@@ -30,6 +32,13 @@ struct StagingConfig {
   std::uint64_t io_block = units::MiB(1);
   // Compute nodes the streams are spread over (round-robin).
   std::uint32_t nodes = 1;
+  // Optional parent span: each staged file gets a "staging.file" child (with
+  // a "stream.wait" queue span while throttled by the stream limit).
+  trace::TraceContext trace = {};
+  // Optional caller-owned counters: <metric_prefix>.files / .bytes record
+  // what actually moved (stage-in and stage-out distinguished by prefix).
+  MetricsRegistry* metrics = nullptr;
+  std::string metric_prefix = "staging";
 };
 
 struct StagingReport {

@@ -1,0 +1,169 @@
+#include "trace/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/table.h"
+#include "common/units.h"
+
+namespace memfs::trace {
+
+namespace {
+
+double ToMs(sim::SimTime nanos) {
+  return static_cast<double>(nanos) /
+         static_cast<double>(units::kNanosPerMilli);
+}
+
+struct TreeNode {
+  const SpanRecord* span = nullptr;
+  std::vector<TreeNode*> children;  // sorted by end descending
+};
+
+class Walker {
+ public:
+  explicit Walker(CriticalPath* out) : out_(out) {}
+
+  // Attributes [span.start, window_end) — emitting segments in reverse time
+  // order — by descending into the child whose completion gated each
+  // instant: repeatedly, the child with the latest (clipped) end time.
+  void Walk(const TreeNode& node, sim::SimTime window_end) {
+    const SpanRecord& span = *node.span;
+    sim::SimTime t = std::min(span.end, window_end);
+    if (t < span.start) t = span.start;
+    for (const TreeNode* child : node.children) {
+      if (t <= span.start) break;
+      const sim::SimTime child_end = std::min(child->span->end, t);
+      if (child_end <= span.start) break;  // children sorted: rest end earlier
+      const sim::SimTime child_start = std::max(child->span->start, span.start);
+      if (child_start >= child_end) continue;  // empty after clipping
+      if (child_end < t) Emit(span, child_end, t);  // self-time gap
+      Walk(*child, child_end);
+      t = child_start;
+    }
+    if (t > span.start) Emit(span, span.start, t);
+  }
+
+ private:
+  void Emit(const SpanRecord& span, sim::SimTime begin, sim::SimTime end) {
+    out_->segments.push_back(
+        PathSegment{begin, end, span.span_id, span.name, span.category});
+    out_->attributed += end - begin;
+  }
+
+  CriticalPath* out_;
+};
+
+std::vector<PathShare> Aggregate(
+    const std::vector<PathSegment>& segments,
+    const std::string PathSegment::* label) {
+  std::map<std::string, PathShare> shares;
+  for (const PathSegment& segment : segments) {
+    PathShare& share = shares[segment.*label];
+    share.label = segment.*label;
+    share.nanos += segment.nanos();
+    ++share.segments;
+  }
+  std::vector<PathShare> out;
+  out.reserve(shares.size());
+  for (auto& [label, share] : shares) out.push_back(std::move(share));
+  std::sort(out.begin(), out.end(), [](const PathShare& a, const PathShare& b) {
+    if (a.nanos != b.nanos) return a.nanos > b.nanos;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+}  // namespace
+
+CriticalPath ExtractCriticalPath(const std::deque<SpanRecord>& spans,
+                                 TraceId trace) {
+  CriticalPath path;
+
+  std::unordered_map<SpanId, TreeNode> nodes;
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id != trace) continue;
+    nodes[span.span_id].span = &span;
+  }
+  const SpanRecord* root = nullptr;
+  for (auto& [id, node] : nodes) {
+    if (node.span->parent_id != 0) {
+      auto parent = nodes.find(node.span->parent_id);
+      if (parent != nodes.end()) {
+        parent->second.children.push_back(&node);
+        continue;
+      }
+    }
+    // Root candidate: no parent recorded. Prefer the true root (parent 0)
+    // with the lowest span id for determinism.
+    if (node.span->parent_id == 0 &&
+        (root == nullptr || node.span->span_id < root->span_id)) {
+      root = node.span;
+    }
+  }
+  if (root == nullptr) return path;
+
+  for (auto& [id, node] : nodes) {
+    std::sort(node.children.begin(), node.children.end(),
+              [](const TreeNode* a, const TreeNode* b) {
+                if (a->span->end != b->span->end)
+                  return a->span->end > b->span->end;
+                if (a->span->start != b->span->start)
+                  return a->span->start > b->span->start;
+                return a->span->span_id > b->span->span_id;
+              });
+  }
+
+  path.found = true;
+  path.window_start = root->start;
+  path.window_end = root->end;
+  Walker walker(&path);
+  walker.Walk(nodes.at(root->span_id), root->end);
+  std::reverse(path.segments.begin(), path.segments.end());
+  path.by_category = Aggregate(path.segments, &PathSegment::category);
+  path.by_name = Aggregate(path.segments, &PathSegment::name);
+  return path;
+}
+
+void PrintCriticalPath(std::ostream& os, const CriticalPath& path, bool csv,
+                       std::size_t top_names) {
+  if (!path.found) {
+    os << "critical path: trace has no finished root span\n";
+    return;
+  }
+  const double window_ms = ToMs(path.window());
+  Table layers({"layer", "ms", "share", "segments"});
+  for (const PathShare& share : path.by_category) {
+    const double ms = ToMs(share.nanos);
+    layers.AddRow({share.label, Table::Num(ms, 3),
+                   Table::Num(window_ms == 0 ? 0.0 : 100.0 * ms / window_ms, 1),
+                   Table::Int(share.segments)});
+  }
+  if (csv) {
+    layers.PrintCsv(os);
+    return;
+  }
+  os << "critical path: window " << Table::Num(window_ms, 3)
+     << " ms, attributed " << Table::Num(ToMs(path.attributed), 3)
+     << " ms (" << Table::Num(100.0 * path.AttributedFraction(), 1) << "%), "
+     << path.segments.size() << " segments\n";
+  layers.PrintText(os);
+  if (top_names > 0 && !path.by_name.empty()) {
+    os << "top spans on the path:\n";
+    Table names({"span", "ms", "share", "segments"});
+    std::size_t shown = 0;
+    for (const PathShare& share : path.by_name) {
+      if (shown++ == top_names) break;
+      const double ms = ToMs(share.nanos);
+      names.AddRow(
+          {share.label, Table::Num(ms, 3),
+           Table::Num(window_ms == 0 ? 0.0 : 100.0 * ms / window_ms, 1),
+           Table::Int(share.segments)});
+    }
+    names.PrintText(os);
+  }
+}
+
+}  // namespace memfs::trace

@@ -182,7 +182,7 @@ sim::Task OpenProcess(sim::Simulation& sim, fs::Vfs& vfs, fs::VfsContext ctx,
 }
 
 sim::Task RunMkdir(fs::Vfs& vfs, std::string path, Status& out, bool& flag) {
-  out = co_await vfs.Mkdir(fs::VfsContext{0, 0}, std::move(path));
+  out = co_await vfs.Mkdir(fs::VfsContext{0, 0, {}}, std::move(path));
   flag = true;
 }
 
@@ -229,7 +229,7 @@ PhaseResult EnvelopeBench::RunWrite() {
         paths.push_back(FilePath(node, proc, f));
       }
       wg.Add();
-      WriterProcess(sim_, vfs_, fs::VfsContext{node, proc}, std::move(paths),
+      WriterProcess(sim_, vfs_, fs::VfsContext{node, proc, {}}, std::move(paths),
                     params_.file_size, BlockSize(),
                     params_.per_file_job_overhead, start, counter, wg);
     }
@@ -263,7 +263,7 @@ PhaseResult EnvelopeBench::RunRead11(std::uint32_t node_shift) {
         paths.push_back(FilePath(source, proc, f));
       }
       wg.Add();
-      ReaderProcess(sim_, vfs_, fs::VfsContext{node, proc}, std::move(paths),
+      ReaderProcess(sim_, vfs_, fs::VfsContext{node, proc, {}}, std::move(paths),
                     BlockSize(), params_.per_file_job_overhead, start,
                     params_.verify_reads, counter, wg);
     }
@@ -289,7 +289,7 @@ PhaseResult EnvelopeBench::RunReadN1() {
     PhaseCounter setup;
     sim::WaitGroup wg(sim_);
     wg.Add();
-    WriteOneFile(sim_, vfs_, fs::VfsContext{0, 0}, shared_file_,
+    WriteOneFile(sim_, vfs_, fs::VfsContext{0, 0, {}}, shared_file_,
                  params_.file_size, BlockSize(), setup, wg);
     sim_.Run();
     assert(setup.error.ok());
@@ -303,7 +303,7 @@ PhaseResult EnvelopeBench::RunReadN1() {
     Status multicast_status;
     [](amfs::Amfs* fs, std::string path, Status& out,
        bool& flag) -> sim::Task {
-      out = co_await fs->Multicast(fs::VfsContext{0, 0}, std::move(path));
+      out = co_await fs->Multicast(fs::VfsContext{0, 0, {}}, std::move(path));
       flag = true;
     }(amfs_, shared_file_, multicast_status, multicast_done);
     sim_.Run();
@@ -316,7 +316,7 @@ PhaseResult EnvelopeBench::RunReadN1() {
   for (std::uint32_t node = 0; node < params_.nodes; ++node) {
     for (std::uint32_t proc = 0; proc < params_.procs_per_node; ++proc) {
       wg.Add();
-      ReaderProcess(sim_, vfs_, fs::VfsContext{node, proc}, {shared_file_},
+      ReaderProcess(sim_, vfs_, fs::VfsContext{node, proc, {}}, {shared_file_},
                     BlockSize(), params_.per_file_job_overhead, start,
                     params_.verify_reads, counter, wg);
     }
@@ -348,7 +348,7 @@ PhaseResult EnvelopeBench::RunCreate(std::uint32_t files_per_proc) {
         paths.push_back(MetaPath(node, proc, f));
       }
       wg.Add();
-      CreateProcess(sim_, vfs_, fs::VfsContext{node, proc}, std::move(paths),
+      CreateProcess(sim_, vfs_, fs::VfsContext{node, proc, {}}, std::move(paths),
                     counter, wg);
     }
   }
@@ -377,7 +377,7 @@ PhaseResult EnvelopeBench::RunOpen() {
         paths.push_back(MetaPath(node, proc, f));
       }
       wg.Add();
-      OpenProcess(sim_, vfs_, fs::VfsContext{node, proc}, std::move(paths),
+      OpenProcess(sim_, vfs_, fs::VfsContext{node, proc, {}}, std::move(paths),
                   counter, wg);
     }
   }

@@ -93,6 +93,50 @@ TEST(LatencyHistogramTest, MergeCombines) {
   EXPECT_GT(a.PercentileNanos(0.9), 5000.0);
 }
 
+TEST(LatencyHistogramTest, PercentileExtremesReturnExactMinAndMax) {
+  LatencyHistogram h;
+  // Empty histogram: every quantile, extremes included, is 0.
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(1.0), 0.0);
+
+  h.Record(1200);
+  h.Record(3400);
+  h.Record(777777);
+  // q=0 / q=1 are exact observed extremes, not bucket bounds.
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(0.0), 1200.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(1.0), 777777.0);
+  // Out-of-range q clamps to the extremes.
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(-0.5), 1200.0);
+  EXPECT_DOUBLE_EQ(h.PercentileNanos(2.0), 777777.0);
+}
+
+TEST(LatencyHistogramTest, MergePreservesMinMaxWhenEitherSideEmpty) {
+  LatencyHistogram filled;
+  filled.Record(500);
+  filled.Record(9000);
+
+  LatencyHistogram empty;
+  filled.Merge(empty);  // empty right side must not disturb the extremes
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_EQ(filled.min_nanos(), 500u);
+  EXPECT_EQ(filled.max_nanos(), 9000u);
+
+  LatencyHistogram target;
+  target.Merge(filled);  // empty left side adopts the right's extremes
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min_nanos(), 500u);
+  EXPECT_EQ(target.max_nanos(), 9000u);
+  EXPECT_DOUBLE_EQ(target.PercentileNanos(0.0), 500.0);
+  EXPECT_DOUBLE_EQ(target.PercentileNanos(1.0), 9000.0);
+
+  LatencyHistogram still_empty;
+  still_empty.Merge(empty);  // empty + empty stays a valid empty histogram
+  EXPECT_EQ(still_empty.count(), 0u);
+  EXPECT_EQ(still_empty.min_nanos(), 0u);
+  EXPECT_EQ(still_empty.max_nanos(), 0u);
+  EXPECT_DOUBLE_EQ(still_empty.PercentileNanos(0.5), 0.0);
+}
+
 // --- MetricsRegistry ---
 
 TEST(MetricsRegistryTest, HistogramsPersistByName) {

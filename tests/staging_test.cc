@@ -3,6 +3,7 @@
 // sharing one simulated cluster.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/units.h"
 #include "kvstore/kv_cluster.h"
 #include "memfs/memfs.h"
@@ -82,6 +83,52 @@ TEST_F(StagingTest, CopySingleFile) {
   auto back = ReadFile(*runtime_, "/input");
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back->ContentEquals(data));
+}
+
+TEST_F(StagingTest, MetricsSeparateStageInFromStageOut) {
+  ASSERT_TRUE(WriteFile(*permanent_, "/in_a", Bytes::Pattern(KiB(64), 1)).ok());
+  ASSERT_TRUE(WriteFile(*permanent_, "/in_b", Bytes::Pattern(KiB(32), 2)).ok());
+  ASSERT_TRUE(WriteFile(*runtime_, "/result", Bytes::Pattern(KiB(48), 3)).ok());
+
+  MetricsRegistry metrics;
+  StagingConfig stage_in;
+  stage_in.streams = 2;
+  stage_in.nodes = kNodes;
+  stage_in.metrics = &metrics;
+  stage_in.metric_prefix = "stage_in";
+  Stager in(sim_, stage_in);
+  const auto in_report =
+      in.CopyFiles(*permanent_, *runtime_, {"/in_a", "/in_b"});
+  ASSERT_TRUE(in_report.status.ok()) << in_report.status;
+
+  StagingConfig stage_out = stage_in;
+  stage_out.metrics = &metrics;
+  stage_out.metric_prefix = "stage_out";
+  Stager out(sim_, stage_out);
+  const auto out_report = out.CopyFiles(*runtime_, *permanent_, {"/result"});
+  ASSERT_TRUE(out_report.status.ok()) << out_report.status;
+
+  // Counters agree with the reports, per direction.
+  EXPECT_EQ(metrics.CounterValue("stage_in.files"), 2u);
+  EXPECT_EQ(metrics.CounterValue("stage_in.bytes"), KiB(64) + KiB(32));
+  EXPECT_EQ(metrics.CounterValue("stage_in.bytes"), in_report.bytes);
+  EXPECT_EQ(metrics.CounterValue("stage_out.files"), 1u);
+  EXPECT_EQ(metrics.CounterValue("stage_out.bytes"), KiB(48));
+  EXPECT_EQ(metrics.CounterValue("stage_out.bytes"), out_report.bytes);
+}
+
+TEST_F(StagingTest, FailedCopiesLeaveCountersUntouched) {
+  MetricsRegistry metrics;
+  StagingConfig config;
+  config.streams = 2;
+  config.nodes = kNodes;
+  config.metrics = &metrics;
+  Stager stager(sim_, config);
+  const auto report =
+      stager.CopyFiles(*permanent_, *runtime_, {"/never_written"});
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_EQ(metrics.CounterValue("staging.files"), 0u);
+  EXPECT_EQ(metrics.CounterValue("staging.bytes"), 0u);
 }
 
 TEST_F(StagingTest, CopyManyFilesBoundedStreams) {

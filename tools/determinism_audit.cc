@@ -128,6 +128,7 @@ AuditRun RunOnce(std::uint64_t seed) {
 
   std::vector<std::uint8_t> write_ok(kFiles, 0);
   for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
     WriteFile(sim, memfs, Millis(3) * i, i % kNodes,
               "/audit_" + std::to_string(i), 9000 + i, write_ok[i]);
   }
@@ -135,6 +136,7 @@ AuditRun RunOnce(std::uint64_t seed) {
 
   std::vector<std::uint8_t> intact(kFiles, 0);
   for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
     ReadFile(memfs, i % kNodes, "/audit_" + std::to_string(i), 9000 + i,
              intact[i]);
   }
