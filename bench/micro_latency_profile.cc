@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
     MetricsRegistry registry;
     workloads::TestbedConfig config;
     config.nodes = 16;
+    // This profile measures per-RPC service latency; with coalescing on, lane
+    // queueing during read/write bursts would dominate every kv.* histogram
+    // (that effect is ablation_batching's subject, not this one's).
+    config.memfs.io.batching = false;
     config.metrics = &registry;
     workloads::Testbed bed(workloads::FsKind::kMemFs, config);
 
@@ -46,7 +50,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "Reading: vfs.write is usually buffer-accept time (µs) while "
                "vfs.close absorbs the drain; vfs.read p50 is a cache hit "
-               "(FUSE-only) and its tail is a stripe fetch; kv.get < kv.set "
-               "(the Memcached asymmetry the cost model encodes).\n";
+               "(FUSE-only) and its tail is a stripe fetch; per RPC kv.get is "
+               "cheaper than kv.set (the Memcached asymmetry the cost model "
+               "encodes), though N-1 read bursts queue on the stripe-home "
+               "servers and push the kv.get mean past it.\n";
   return 0;
 }

@@ -16,7 +16,10 @@ Amfs::Amfs(sim::Simulation& sim, net::Network& network, AmfsConfig config)
     : sim_(sim),
       network_(network),
       config_(config),
-      fuse_(sim, network.config().nodes, config.fuse) {
+      fuse_(sim, network.config().nodes, config.fuse),
+      meta_workers_(sim, network.config().nodes, config.metadata_workers,
+                    "amfs.meta_workers"),
+      dir_locks_(sim, network.config().nodes, 1, "amfs.dir_lock") {
   const std::uint32_t nodes = network.config().nodes;
   stores_.reserve(nodes);
   kv::KvServerConfig store_config;
@@ -28,13 +31,6 @@ Amfs::Amfs(sim::Simulation& sim, net::Network& network, AmfsConfig config)
     stores_.push_back(std::make_unique<kv::KvServer>(store_config));
   }
   metadata_.resize(nodes);
-  meta_workers_.reserve(nodes);
-  dir_locks_.reserve(nodes);
-  for (std::uint32_t n = 0; n < nodes; ++n) {
-    meta_workers_.push_back(std::make_unique<sim::Semaphore>(
-        sim_, std::max<std::uint32_t>(config_.metadata_workers, 1)));
-    dir_locks_.push_back(std::make_unique<sim::Semaphore>(sim_, 1));
-  }
 
   MetaRecord root;
   root.is_directory = true;
@@ -86,7 +82,7 @@ std::uint64_t Amfs::total_memory_used() const {
 // Metadata protocol
 
 sim::Task Amfs::RunMetaService(net::NodeId home, sim::VoidPromise done) {
-  auto& workers = *meta_workers_[home];
+  auto& workers = meta_workers_.at(home);
   co_await workers.Acquire();
   co_await sim_.Delay(config_.metadata_base);
   workers.Release();
@@ -101,7 +97,7 @@ sim::VoidFuture Amfs::MetaService(net::NodeId home) {
 }
 
 sim::Task Amfs::RunDirUpdateService(net::NodeId home, sim::VoidPromise done) {
-  auto& lock = *dir_locks_[home];
+  auto& lock = dir_locks_.at(home);
   co_await lock.Acquire();
   co_await sim_.Delay(config_.metadata_dir_update);
   lock.Release();

@@ -33,8 +33,8 @@
 #include "memfs/vfs.h"
 #include "net/network.h"
 #include "sim/future.h"
+#include "sim/pool.h"
 #include "sim/simulation.h"
-#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace memfs::amfs {
@@ -178,8 +178,8 @@ class Amfs final : public fs::Vfs {
   // Distributed metadata: metadata_[n] holds the records homed on node n.
   // The scheduler-visible owner map is global (the AMFS Shell tracks it).
   std::vector<std::unordered_map<std::string, MetaRecord>> metadata_;
-  std::vector<std::unique_ptr<sim::Semaphore>> meta_workers_;
-  std::vector<std::unique_ptr<sim::Semaphore>> dir_locks_;
+  sim::PoolGroup meta_workers_;
+  sim::PoolGroup dir_locks_;
 
   std::unordered_map<fs::FileHandle, std::unique_ptr<OpenFile>> handles_;
   fs::FileHandle next_handle_ = 1;

@@ -1,5 +1,6 @@
 #include "common/bytes.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace memfs {
@@ -151,6 +152,14 @@ void Bytes::Append(const Bytes& other) {
   if (other.empty()) return;
   const std::uint64_t out_offset = size_;
   if (real_ && other.real_) {
+    // Grow geometrically: a stream assembled from many small real appends
+    // (write buffering, batch reply assembly) must stay amortized O(n) even
+    // where the library's range-insert would reallocate to fit exactly.
+    const std::size_t want = storage_.size() + other.storage_.size();
+    if (want > storage_.capacity()) {
+      storage_.reserve(std::max({want, storage_.capacity() * 2,
+                                 static_cast<std::size_t>(64)}));
+    }
     storage_.insert(storage_.end(), other.storage_.begin(),
                     other.storage_.end());
     fingerprint_ +=

@@ -50,6 +50,18 @@ sim::Task RecordKvLatency(sim::Future<T> future, sim::Simulation* sim,
   histogram->Record(sim->now() - start);
 }
 
+// Same, but records one observation per batch item so the per-op
+// kv.set/kv.get/... histograms stay balanced whichever path an op rides.
+template <typename T>
+sim::Task RecordKvItemLatencies(sim::Future<T> future, sim::Simulation* sim,
+                                LatencyHistogram* histogram, std::size_t items,
+                                sim::SimTime start) {
+  (void)co_await future;
+  for (std::size_t i = 0; i < items; ++i) {
+    histogram->Record(sim->now() - start);
+  }
+}
+
 template <typename T>
 sim::Task RunDeadline(sim::Simulation& sim, std::shared_ptr<RaceState<T>> race,
                       sim::SimTime deadline) {
@@ -177,6 +189,174 @@ sim::Task RunGetAttempt(sim::Simulation& sim, net::Network& network,
 
 }  // namespace
 
+// Outcome slot for one batch attempt. Mirrors RaceState, generalized to
+// per-item granularity: `resolved[i]` marks that item i's verdict streamed
+// back to the client (for mutations this is also the commit point —
+// resolved <=> applied), `finished` marks the full acknowledgement, and
+// `attempt_error` is the verdict every unresolved item inherits when the
+// attempt is cut off.
+struct BatchAttempt {
+  BatchAttempt(sim::Simulation& sim, std::size_t items)
+      : done(sim), results(items), resolved(items, 0) {}
+
+  sim::VoidPromise done;
+  bool settled = false;   // the client stopped waiting on this attempt
+  bool finished = false;  // the batch acknowledgement arrived
+  Status attempt_error;
+  std::vector<BatchItemResult> results;
+  std::vector<std::uint8_t> resolved;
+
+  void Settle() {
+    if (settled) return;
+    settled = true;
+    done.Set(sim::Done{});
+  }
+};
+
+namespace {
+
+// Per-item service time for one batch item; GETs are priced on the value
+// they return, everything else on the payload they carry.
+sim::SimTime BatchItemService(const KvOpCostModel& cost, BatchKind kind,
+                              std::uint64_t bytes) {
+  auto scaled = [](sim::SimTime base, double ns_per_byte,
+                   std::uint64_t n) -> sim::SimTime {
+    return base + static_cast<sim::SimTime>(ns_per_byte *
+                                            static_cast<double>(n));
+  };
+  switch (kind) {
+    case BatchKind::kSet:
+    case BatchKind::kAdd:
+      return scaled(cost.set_base, cost.set_ns_per_byte, bytes);
+    case BatchKind::kGet:
+      return scaled(cost.get_base, cost.get_ns_per_byte, bytes);
+    case BatchKind::kAppend:
+      return scaled(cost.append_base, cost.append_ns_per_byte, bytes);
+    case BatchKind::kDelete:
+      return cost.delete_base;
+  }
+  return cost.set_base;
+}
+
+sim::Task RunBatchDeadline(sim::Simulation& sim,
+                           std::shared_ptr<BatchAttempt> attempt,
+                           sim::SimTime deadline) {
+  co_await sim.Delay(deadline);
+  if (attempt->settled || attempt->finished) co_return;
+  bool all_resolved = true;
+  for (std::uint8_t r : attempt->resolved) {
+    if (r == 0) {
+      all_resolved = false;
+      break;
+    }
+  }
+  // Every item committed: only the acknowledgement is outstanding, so let it
+  // finish (same rule as the single-op watchdog after the commit point).
+  if (all_resolved) co_return;
+  attempt->attempt_error = status::DeadlineExceeded("op deadline");
+  attempt->Settle();
+}
+
+// One batch attempt: ship all items in one message (one header_bytes framing
+// cost), process them in order under a single worker slot with per-item
+// service time, stream each item's verdict at its commit point, and close
+// with one acknowledgement. `indices` selects the still-unresolved items of
+// the master list; resolved mutations move their payload into the server, so
+// a later round never re-sends (or re-applies) them. The final reply leg
+// carries all GET values at once; verdicts streamed before a mid-batch
+// cancellation are considered delivered without charging a per-item ack —
+// item acks are status-sized and folded into the batch framing.
+sim::Task RunBatchAttempt(sim::Simulation& sim, net::Network& network,
+                          KvCluster::ServerSlotAccess slot, net::NodeId client,
+                          const KvOpCostModel& cost, BatchKind kind,
+                          KvServer* state,
+                          std::shared_ptr<std::vector<BatchItem>> items,
+                          std::shared_ptr<std::vector<std::size_t>> indices,
+                          std::shared_ptr<BatchAttempt> attempt,
+                          trace::TraceContext ctx) {
+  trace::ScopedSpan span = trace::ScopedSpan::Adopt(ctx);
+  std::uint64_t request_bytes = cost.header_bytes;
+  for (std::size_t index : *indices) {
+    const BatchItem& item = (*items)[index];
+    request_bytes += item.key.size() + item.value.StoredSize();
+  }
+  if (network.DropMessage(client, slot.node)) {
+    trace::Event(ctx, "request_lost");
+    co_await sim.Delay(cost.failure_timeout);
+    attempt->attempt_error = status::DeadlineExceeded("request lost");
+    attempt->Settle();
+    co_return;
+  }
+  {
+    trace::ScopedSpan leg(ctx, "net.request", "net");
+    co_await network.Transfer(client, slot.node, request_bytes);
+  }
+  if (*slot.down) {
+    trace::Event(ctx, "server_down");
+    co_await sim.Delay(cost.failure_timeout);
+    attempt->attempt_error = status::Unavailable("server down");
+    attempt->Settle();
+    co_return;
+  }
+  {
+    trace::ScopedSpan queued = trace::ScopedSpan::Adopt(
+        trace::ChildOn(ctx, "kv.queue", "queue", slot.node));
+    co_await slot.workers->Acquire();
+  }
+  std::uint64_t reply_payload = 0;
+  for (std::size_t j = 0; j < indices->size(); ++j) {
+    BatchItem& item = (*items)[(*indices)[j]];
+    BatchItemResult result;
+    bool applied = false;
+    sim::SimTime service;
+    if (kind == BatchKind::kGet) {
+      // Reads are applied up front so the value size can price the service
+      // time — same order as the single-op GET path; harmless on
+      // cancellation because reads have no commit point.
+      result = state->ApplyBatchItem(kind, item);
+      applied = true;
+      service = BatchItemService(cost, kind, result.value.StoredSize());
+    } else {
+      service = BatchItemService(cost, kind, item.value.StoredSize());
+    }
+    // Items after the first ride the message's already-paid dispatch
+    // (syscall + wakeup + parse), which the per-op bases include; a batch of
+    // one therefore costs exactly what the single-op path charges.
+    if (j > 0) service -= std::min(service, cost.rpc_dispatch);
+    {
+      trace::ScopedSpan item_span = trace::ScopedSpan::Adopt(
+          trace::ChildOn(ctx, "kv.item", "kv.service", slot.node));
+      trace::Annotate(item_span.context(), "key", item.key);
+      co_await sim.Delay(static_cast<sim::SimTime>(
+          static_cast<double>(service) * *slot.slow_factor));
+    }
+    if (attempt->settled) {
+      // The client gave up mid-batch; cancellation reaches the server before
+      // this item's commit point, so it and everything after it are
+      // discarded — a later round retries them exactly-once.
+      trace::Event(ctx, "cancelled_mid_batch");
+      slot.workers->Release();
+      co_return;
+    }
+    if (!applied) result = state->ApplyBatchItem(kind, item);
+    if (kind == BatchKind::kGet && result.status.ok()) {
+      reply_payload += result.value.StoredSize();
+    }
+    attempt->results[j] = std::move(result);
+    attempt->resolved[j] = 1;
+  }
+  slot.workers->Release();
+  {
+    trace::ScopedSpan leg(ctx, "net.reply", "net");
+    co_await network.Transfer(slot.node, client,
+                              cost.header_bytes + reply_payload);
+  }
+  attempt->finished = true;
+  attempt->Settle();
+}
+
+}  // namespace
+
 KvCluster::KvCluster(sim::Simulation& sim, net::Network& network,
                      std::vector<net::NodeId> server_nodes,
                      KvServerConfig server_config, KvOpCostModel cost_model,
@@ -213,6 +393,7 @@ sim::Task KvCluster::RunWithRetry(
   while (true) {
     if (!slot.breaker.AllowRequest(sim_.now())) {
       ++stats_.breaker_fast_fails;
+      ++slot.client_stats.breaker_fast_fails;
       if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_fast_fails");
       trace::Event(op_span, "breaker_fast_fail");
       result = ErrorResult<T>(status::Unavailable("circuit breaker open"));
@@ -222,6 +403,8 @@ sim::Task KvCluster::RunWithRetry(
       trace::TraceContext attempt_span =
           trace::Child(op_span, "kv.attempt", "kv.attempt");
       trace::Annotate(attempt_span, "attempt", std::to_string(++attempts));
+      ++stats_.single_rpcs;
+      ++slot.client_stats.single_ops;
       launch(race, attempt_span);
       if (policy_.op_deadline > 0) {
         RunDeadline<T>(sim_, race, policy_.op_deadline);
@@ -235,10 +418,12 @@ sim::Task KvCluster::RunWithRetry(
         slot.breaker.RecordFailure(sim_.now());
         if (slot.breaker.open_transitions() != opens_before) {
           ++stats_.breaker_opens;
+          ++slot.client_stats.breaker_opens;
           if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_opens");
         }
         if (status.code() == ErrorCode::kDeadlineExceeded) {
           ++stats_.deadline_exceeded;
+          ++slot.client_stats.deadline_exceeded;
           if (metrics_ != nullptr) ++metrics_->Counter("kv.deadline_exceeded");
         }
       }
@@ -248,6 +433,7 @@ sim::Task KvCluster::RunWithRetry(
     const RetryState::Backoff backoff = retry.NextBackoff(rng_, sim_.now());
     if (!backoff.allowed) break;
     ++stats_.retries;
+    ++slot.client_stats.retries;
     if (metrics_ != nullptr) ++metrics_->Counter("kv.retries");
     {
       trace::ScopedSpan wait(op_span, "backoff", "retry");
@@ -255,6 +441,95 @@ sim::Task KvCluster::RunWithRetry(
     }
   }
   done.Set(std::move(result));
+}
+
+sim::Task KvCluster::RunBatchWithRetry(
+    std::uint32_t server, BatchKind kind, net::NodeId client,
+    std::shared_ptr<std::vector<BatchItem>> items,
+    sim::Promise<std::vector<BatchItemResult>> done,
+    trace::TraceContext op_span) {
+  trace::ScopedSpan op = trace::ScopedSpan::Adopt(op_span);
+  auto& slot = servers_[server];
+  const std::size_t total = items->size();
+  std::vector<BatchItemResult> outcomes(total);
+  std::vector<std::size_t> active(total);
+  for (std::size_t i = 0; i < total; ++i) active[i] = i;
+  RetryState retry(policy_.retry, sim_.now());
+  std::uint32_t attempts = 0;
+  while (!active.empty()) {
+    if (!slot.breaker.AllowRequest(sim_.now())) {
+      ++stats_.breaker_fast_fails;
+      ++slot.client_stats.breaker_fast_fails;
+      if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_fast_fails");
+      trace::Event(op_span, "breaker_fast_fail");
+      for (std::size_t index : active) {
+        outcomes[index] =
+            BatchItemResult{status::Unavailable("circuit breaker open"), {}};
+      }
+    } else {
+      auto attempt = std::make_shared<BatchAttempt>(sim_, active.size());
+      auto settled = attempt->done.GetFuture();
+      trace::TraceContext attempt_span =
+          trace::Child(op_span, "kv.batch.attempt", "kv.attempt");
+      trace::Annotate(attempt_span, "attempt", std::to_string(++attempts));
+      trace::Annotate(attempt_span, "items", std::to_string(active.size()));
+      ++stats_.batch_rpcs;
+      stats_.batch_items += active.size();
+      ++slot.client_stats.batches;
+      slot.client_stats.batched_items += active.size();
+      if (metrics_ != nullptr) {
+        metrics_->Histogram("kv.batch.size").Record(active.size());
+      }
+      auto indices = std::make_shared<std::vector<std::size_t>>(active);
+      RunBatchAttempt(sim_, network_, AccessOf(slot), client, cost_, kind,
+                      slot.state.get(), items, indices, attempt, attempt_span);
+      if (policy_.op_deadline > 0) {
+        RunBatchDeadline(sim_, attempt, policy_.op_deadline);
+      }
+      (void)co_await settled;
+      // Demultiplex: streamed verdicts are final (and, for mutations,
+      // committed — never re-sent); unresolved items inherit the attempt
+      // error and form the next round.
+      std::vector<std::size_t> failed;
+      for (std::size_t j = 0; j < indices->size(); ++j) {
+        const std::size_t index = (*indices)[j];
+        if (attempt->resolved[j] != 0) {
+          outcomes[index] = std::move(attempt->results[j]);
+        } else {
+          outcomes[index] = BatchItemResult{attempt->attempt_error, {}};
+          failed.push_back(index);
+        }
+      }
+      if (attempt->finished) {
+        slot.breaker.RecordSuccess();
+      } else {
+        const std::uint64_t opens_before = slot.breaker.open_transitions();
+        slot.breaker.RecordFailure(sim_.now());
+        if (slot.breaker.open_transitions() != opens_before) {
+          ++stats_.breaker_opens;
+          ++slot.client_stats.breaker_opens;
+          if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_opens");
+        }
+        if (attempt->attempt_error.code() == ErrorCode::kDeadlineExceeded) {
+          ++stats_.deadline_exceeded;
+          ++slot.client_stats.deadline_exceeded;
+          if (metrics_ != nullptr) ++metrics_->Counter("kv.deadline_exceeded");
+        }
+      }
+      active = std::move(failed);
+    }
+    if (active.empty()) break;
+    const RetryState::Backoff backoff = retry.NextBackoff(rng_, sim_.now());
+    if (!backoff.allowed) break;  // unresolved outcomes keep their error
+    ++stats_.retries;
+    ++slot.client_stats.retries;
+    if (metrics_ != nullptr) ++metrics_->Counter("kv.retries");
+    {
+      trace::ScopedSpan wait(op_span, "backoff", "retry");
+      co_await sim_.Delay(backoff.nanos);
+    }
+  }
+  done.Set(std::move(outcomes));
 }
 
 sim::Future<Status> KvCluster::Mutate(net::NodeId client, std::uint32_t server,
@@ -373,6 +648,31 @@ sim::Future<Result<Bytes>> KvCluster::Get(net::NodeId client,
       std::move(done), op_span);
   if (metrics_ != nullptr) {
     RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.get"), sim_.now());
+  }
+  return future;
+}
+
+sim::Future<std::vector<BatchItemResult>> KvCluster::Batch(
+    net::NodeId client, std::uint32_t server, BatchKind kind,
+    std::vector<BatchItem> items, trace::TraceContext trace) {
+  sim::Promise<std::vector<BatchItemResult>> done(sim_);
+  auto future = done.GetFuture();
+  if (items.empty()) {
+    done.Set({});
+    return future;
+  }
+  trace::TraceContext op_span = trace::Child(trace, "kv.batch", "kv");
+  trace::Annotate(op_span, "server", std::to_string(server));
+  trace::Annotate(op_span, "kind", BatchKindName(kind));
+  trace::Annotate(op_span, "items", std::to_string(items.size()));
+  auto shared = std::make_shared<std::vector<BatchItem>>(std::move(items));
+  RunBatchWithRetry(server, kind, client, shared, std::move(done), op_span);
+  if (metrics_ != nullptr) {
+    const std::string metric = std::string("kv.batch.") + BatchKindName(kind);
+    RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now());
+    const std::string op_metric = std::string("kv.") + BatchKindName(kind);
+    RecordKvItemLatencies(future, &sim_, &metrics_->Histogram(op_metric),
+                          shared->size(), sim_.now());
   }
   return future;
 }

@@ -60,6 +60,13 @@ struct KvOpCostModel {
   std::uint32_t workers = 8;
   // Protocol framing per message (command, key echo, flags, CRLF...).
   std::uint64_t header_bytes = 48;
+  // Per-RPC dispatch share of the per-op base constants above: the recv
+  // syscall, worker wakeup and command parse that every message pays exactly
+  // once. Single ops pay it implicitly inside their base; a multi-op pays it
+  // on the first item only, so items after the first are priced at
+  // base - rpc_dispatch (this is the libmemcached multi-op amortization the
+  // paper measures in §3.2.2). Must stay below the smallest base.
+  sim::SimTime rpc_dispatch = units::Micros(4);
   // Time for a client to give up on a server that is down (connection
   // timeout); used by the fault-tolerance extension.
   sim::SimTime failure_timeout = units::Millis(1);
@@ -84,7 +91,27 @@ struct KvClusterStats {
   std::uint64_t deadline_exceeded = 0;   // attempts cut off by the deadline
   std::uint64_t breaker_opens = 0;       // closed/half-open -> open trips
   std::uint64_t breaker_fast_fails = 0;  // requests rejected while open
+  std::uint64_t single_rpcs = 0;         // single-op attempts put on the wire
+  std::uint64_t batch_rpcs = 0;          // batch attempts put on the wire
+  std::uint64_t batch_items = 0;         // items carried by those batches
 };
+
+// Per-server slice of the client-side activity: how this client treated one
+// server (attempts, retries, breaker trips, batching). Surfaced by
+// tools/memfs_trace's per-server report table.
+struct KvServerClientStats {
+  std::uint64_t single_ops = 0;          // single-op attempts sent
+  std::uint64_t batches = 0;             // batch attempts sent
+  std::uint64_t batched_items = 0;       // items carried by those batches
+  std::uint64_t retries = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_fast_fails = 0;
+};
+
+// Outcome slot shared by one batch attempt and its deadline watchdog
+// (defined in kv_cluster.cc).
+struct BatchAttempt;
 
 class KvCluster {
  public:
@@ -138,6 +165,25 @@ class KvCluster {
                              std::string key,
                              trace::TraceContext trace = {});
 
+  // Batch RPC: ships all items to the server in one message (one
+  // header_bytes framing cost for the whole batch), processes them in order
+  // under a single worker slot paying per-item service time, and returns
+  // per-item verdicts aligned with the input. Per-item responses stream back
+  // as each item commits, so when an attempt is cut off (deadline, lost
+  // reply) the client knows exactly which items were applied and retries
+  // only the rest — the non-idempotent ADD/APPEND safety argument of the
+  // single-op path, preserved per item. The "kv.batch" span parents one
+  // "kv.batch.attempt" per wire attempt and a per-key "kv.item" child span
+  // for every processed item.
+  [[nodiscard]] sim::Future<std::vector<BatchItemResult>> Batch(
+      net::NodeId client, std::uint32_t server, BatchKind kind,
+      std::vector<BatchItem> items, trace::TraceContext trace = {});
+
+  // Per-server client-side activity (satellite of the batching work).
+  const KvServerClientStats& server_stats(std::uint32_t index) const {
+    return servers_[index].client_stats;
+  }
+
   // Aggregate stored bytes across all servers (Fig. 9-style accounting).
   std::uint64_t total_memory_used() const;
 
@@ -174,6 +220,7 @@ class KvCluster {
     bool down = false;
     double slow_factor = 1.0;
     CircuitBreaker breaker;
+    KvServerClientStats client_stats;
   };
 
   sim::SimTime ServiceTime(sim::SimTime base, double ns_per_byte,
@@ -204,6 +251,17 @@ class KvCluster {
                              std::uint64_t request_bytes, sim::SimTime service,
                              std::function<Status()> apply,
                              const char* metric, trace::TraceContext trace);
+
+  // Batch retry driver: sends the still-unresolved items as one batch
+  // attempt per round, demultiplexes the per-item verdicts (resolved items
+  // become final; unresolved items inherit the attempt error and form the
+  // next round), and applies the same breaker/backoff/deadline policy as the
+  // single-op path. Owns ending `op_span`.
+  sim::Task RunBatchWithRetry(
+      std::uint32_t server, BatchKind kind, net::NodeId client,
+      std::shared_ptr<std::vector<BatchItem>> items,
+      sim::Promise<std::vector<BatchItemResult>> done,
+      trace::TraceContext op_span);
 
   sim::Simulation& sim_;
   net::Network& network_;

@@ -4,6 +4,17 @@
 
 namespace memfs::kv {
 
+const char* BatchKindName(BatchKind kind) {
+  switch (kind) {
+    case BatchKind::kSet: return "set";
+    case BatchKind::kAdd: return "add";
+    case BatchKind::kGet: return "get";
+    case BatchKind::kAppend: return "append";
+    case BatchKind::kDelete: return "delete";
+  }
+  return "unknown";
+}
+
 KvServer::KvServer(KvServerConfig config) : config_(config) {}
 
 Status KvServer::CheckedInsert(std::string_view key, Bytes&& value,
@@ -77,6 +88,56 @@ Status KvServer::Delete(std::string_view key) {
   memory_used_ -= it->second.StoredSize();
   store_.erase(it);
   return Status::Ok();
+}
+
+BatchItemResult KvServer::ApplyBatchItem(BatchKind kind, BatchItem& item) {
+  BatchItemResult out;
+  switch (kind) {
+    case BatchKind::kSet:
+      out.status = Set(item.key, std::move(item.value));
+      break;
+    case BatchKind::kAdd:
+      out.status = Add(item.key, std::move(item.value));
+      break;
+    case BatchKind::kGet: {
+      Result<Bytes> got = Get(item.key);
+      out.status = got.status();
+      if (got.ok()) out.value = std::move(got).value();
+      break;
+    }
+    case BatchKind::kAppend:
+      out.status = Append(item.key, item.value);
+      break;
+    case BatchKind::kDelete:
+      out.status = Delete(item.key);
+      break;
+  }
+  return out;
+}
+
+namespace {
+std::vector<BatchItemResult> ApplyBatch(KvServer& server, BatchKind kind,
+                                        std::vector<BatchItem>& items) {
+  std::vector<BatchItemResult> results;
+  results.reserve(items.size());
+  for (BatchItem& item : items) {
+    results.push_back(server.ApplyBatchItem(kind, item));
+  }
+  return results;
+}
+}  // namespace
+
+std::vector<BatchItemResult> KvServer::MultiSet(std::vector<BatchItem> items) {
+  return ApplyBatch(*this, BatchKind::kSet, items);
+}
+
+std::vector<BatchItemResult> KvServer::MultiGet(std::vector<BatchItem> items) {
+  return ApplyBatch(*this, BatchKind::kGet, items);
+}
+
+std::vector<BatchItemResult> KvServer::MultiDelete(
+    std::vector<BatchItem> items) {
+  return ApplyBatch(*this, BatchKind::kDelete, items);
 }
 
 bool KvServer::Exists(std::string_view key) const {

@@ -18,12 +18,30 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "common/units.h"
 
 namespace memfs::kv {
+
+// Batch RPC vocabulary (libmemcached-style multi commands, §3.2.2). A batch
+// carries one kind for all of its items; per-item verdicts come back in a
+// parallel result vector so the client can retry only the failed keys.
+enum class BatchKind : std::uint8_t { kSet, kAdd, kGet, kAppend, kDelete };
+
+const char* BatchKindName(BatchKind kind);
+
+struct BatchItem {
+  std::string key;
+  Bytes value;  // empty for GET / DELETE
+};
+
+struct BatchItemResult {
+  Status status;
+  Bytes value;  // filled for GET hits only
+};
 
 struct KvServerConfig {
   // Storage budget. The paper reserves all node memory minus 4 GB for the
@@ -63,6 +81,22 @@ class KvServer {
   [[nodiscard]] Status Append(std::string_view key, const Bytes& suffix);
 
   [[nodiscard]] Status Delete(std::string_view key);
+
+  // Batch commands (MULTI_SET / MULTI_GET / MULTI_DELETE, plus the ADD and
+  // APPEND flavors the metadata protocol batches through the same path).
+  // Each item is applied independently in order; a failed item does not
+  // abort the rest. Results align index-for-index with the input.
+  [[nodiscard]] std::vector<BatchItemResult> MultiSet(
+      std::vector<BatchItem> items);
+  [[nodiscard]] std::vector<BatchItemResult> MultiGet(
+      std::vector<BatchItem> items);
+  [[nodiscard]] std::vector<BatchItemResult> MultiDelete(
+      std::vector<BatchItem> items);
+
+  // Applies a single batch item of the given kind; the generic dispatcher
+  // behind the Multi* commands and the simulated cluster's per-item loop.
+  [[nodiscard]] BatchItemResult ApplyBatchItem(BatchKind kind,
+                                               BatchItem& item);
 
   bool Exists(std::string_view key) const;
 

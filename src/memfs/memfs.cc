@@ -14,19 +14,13 @@ MemFs::MemFs(sim::Simulation& sim, net::Network& network,
       storage_(storage),
       config_(config),
       striper_(config.stripe_size),
-      fuse_(sim, network.config().nodes, config.fuse) {
+      fuse_(sim, network.config().nodes, config.fuse),
+      sched_(sim, storage, config.io),
+      write_pool_(sim, network.config().nodes, config.io_threads,
+                  "memfs.write_pool"),
+      read_pool_(sim, network.config().nodes, config.read_threads,
+                 "memfs.read_pool") {
   epochs_.push_back(MakeDistributor(storage_.server_count()));
-  const std::uint32_t nodes = network.config().nodes;
-  const std::uint32_t write_width =
-      std::max<std::uint32_t>(config_.io_threads, 1);
-  const std::uint32_t read_width =
-      std::max<std::uint32_t>(config_.read_threads, 1);
-  write_pool_.reserve(nodes);
-  read_pool_.reserve(nodes);
-  for (std::uint32_t n = 0; n < nodes; ++n) {
-    write_pool_.push_back(std::make_unique<sim::Semaphore>(sim_, write_width));
-    read_pool_.push_back(std::make_unique<sim::Semaphore>(sim_, read_width));
-  }
   // Bootstrap the root directory record directly into its home server (and
   // every replica); this happens at deployment time, before any simulated
   // traffic.
@@ -79,11 +73,11 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
     const std::uint32_t server = ReplicaServer(epoch, key, 0);
     Status status;
     if (append) {
-      status = co_await storage_.Append(node, server, std::move(key),
-                                        std::move(value), trace);
+      status = co_await sched_.Append(node, server, std::move(key),
+                                      std::move(value), trace);
     } else {
-      status = co_await storage_.Set(node, server, std::move(key),
-                                     std::move(value), trace);
+      status = co_await sched_.Set(node, server, std::move(key),
+                                   std::move(value), trace);
     }
     done.Set(std::move(status));
     co_return;
@@ -100,8 +94,8 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
   futures.reserve(replicas);
   for (std::uint32_t r = 0; r < replicas; ++r) {
     const std::uint32_t server = ReplicaServer(epoch, key, r);
-    futures.push_back(append ? storage_.Append(node, server, key, value, tctx)
-                             : storage_.Set(node, server, key, value, tctx));
+    futures.push_back(append ? sched_.Append(node, server, key, value, tctx)
+                             : sched_.Set(node, server, key, value, tctx));
   }
   std::uint32_t acks = 0;
   Status first_error;
@@ -171,8 +165,8 @@ sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
   }
   Status last = status::Unavailable("no replicas");
   for (std::uint32_t r = 0; r < tries; ++r) {
-    last = co_await storage_.Add(node, ReplicaServer(epoch, key, r), key,
-                                 value, tctx);
+    last = co_await sched_.Add(node, ReplicaServer(epoch, key, r), key,
+                               value, tctx);
     if (last.ok()) {
       if (r > 0) {
         trace::Event(tctx, "write_failover");
@@ -215,7 +209,7 @@ sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
   futures.reserve(replicas);
   for (std::uint32_t r = 0; r < replicas; ++r) {
     futures.push_back(
-        storage_.Delete(node, ReplicaServer(epoch, key, r), key, tctx));
+        sched_.Delete(node, ReplicaServer(epoch, key, r), key, tctx));
   }
   Status result;
   for (auto& future : futures) {
@@ -256,7 +250,7 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
     std::vector<std::uint32_t> missing;  // reachable replicas lacking the key
     for (std::uint32_t r = 0; r < replicas; ++r) {
       const std::uint32_t server = ReplicaServer(epoch, key, r);
-      Result<Bytes> got = co_await storage_.Get(node, server, key, tctx);
+      Result<Bytes> got = co_await sched_.Get(node, server, key, tctx);
       if (got.ok()) {
         if (r > 0) {
           trace::Event(tctx, "failover");
@@ -303,7 +297,7 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
 sim::Task MemFs::RunReadRepair(net::NodeId node, std::uint32_t server,
                                std::string key, Bytes value) {
   const Status status =
-      co_await storage_.Set(node, server, std::move(key), std::move(value));
+      co_await sched_.Set(node, server, std::move(key), std::move(value));
   if (status.ok()) {
     ++stats_.read_repairs;
     if (config_.metrics != nullptr) {
@@ -506,7 +500,7 @@ sim::Task MemFs::FlushStripe(OpenFile* file, std::string key, Bytes data,
   // stripes drain asynchronously and the write call returns on admission.
   trace::ScopedSpan span(trace, "stripe.put", "striper");
   trace::Annotate(span.context(), "key", key);
-  auto& pool = *write_pool_[file->node];
+  auto& pool = write_pool_.at(file->node);
   {
     trace::ScopedSpan wait(span.context(), "write_pool.wait", "queue");
     co_await pool.Acquire();
@@ -802,7 +796,7 @@ sim::Task MemFs::FetchStripe(net::NodeId node, std::uint32_t epoch,
   // parents correctly because contexts are values, not stack state.
   trace::ScopedSpan span(trace, "stripe.get", "striper");
   trace::Annotate(span.context(), "key", key);
-  auto& pool = *read_pool_[node];
+  auto& pool = read_pool_.at(node);
   {
     trace::ScopedSpan wait(span.context(), "read_pool.wait", "queue");
     co_await pool.Acquire();
@@ -846,8 +840,8 @@ sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
   // Secondary replicas of the directory record (appends go to all; a replica
   // that is down stays empty until read repair finds it).
   for (std::uint32_t r = 1; r < ReplicaCount(0); ++r) {
-    co_await storage_.Set(ctx.node, ReplicaServer(0, path, r), path,
-                          meta::DirHeader(), tctx);
+    co_await sched_.Set(ctx.node, ReplicaServer(0, path, r), path,
+                        meta::DirHeader(), tctx);
   }
   const std::string parent = path::Parent(path);
   Status linked = co_await ReplicatedAppend(

@@ -31,12 +31,14 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "hash/distributor.h"
+#include "io/op_scheduler.h"
 #include "kvstore/kv_cluster.h"
 #include "memfs/fuse.h"
 #include "memfs/metadata.h"
 #include "memfs/striper.h"
 #include "memfs/vfs.h"
 #include "sim/future.h"
+#include "sim/pool.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -78,6 +80,10 @@ struct MemFsConfig {
   // NOT_FOUND immediately; only reads blocked by unreachable replicas are
   // retried, with an escalating delay between passes.
   std::uint32_t read_chain_attempts = 3;
+  // Op-scheduler knobs (src/io): per-(client, server) batching of stripe and
+  // metadata RPCs. `io.batching = false` reproduces the one-RPC-per-stripe
+  // data path byte-identically in the event digest.
+  io::IoConfig io;
   FuseConfig fuse;
   // Optional per-operation latency instrumentation (owned by the caller;
   // must outlive the file system). Records vfs.create/open/read/write/
@@ -138,6 +144,8 @@ class MemFs final : public Vfs {
   const MemFsConfig& config() const { return config_; }
   const MemFsStats& stats() const { return stats_; }
   const Striper& striper() const { return striper_; }
+  // The batching submission layer every storage op goes through.
+  const io::OpScheduler& scheduler() const { return sched_; }
   // Distributor of the current (newest) ring epoch.
   const hash::Distributor& distributor() const { return *epochs_.back(); }
   FuseLayer& fuse() { return fuse_; }
@@ -284,10 +292,13 @@ class MemFs final : public Vfs {
   // One distributor per ring epoch; epochs_.back() places new files.
   std::vector<std::unique_ptr<hash::Distributor>> epochs_;
   FuseLayer fuse_;
+  // Batched per-(client, server) submission layer; every data-path storage
+  // op (stripes, metadata, replication fan-out, read repair) goes through it.
+  io::OpScheduler sched_;
 
   // Per-node buffering and prefetching pools (§3.2.2).
-  std::vector<std::unique_ptr<sim::Semaphore>> write_pool_;
-  std::vector<std::unique_ptr<sim::Semaphore>> read_pool_;
+  sim::PoolGroup write_pool_;
+  sim::PoolGroup read_pool_;
 
   std::unordered_map<FileHandle, std::unique_ptr<OpenFile>> handles_;
   FileHandle next_handle_ = 1;

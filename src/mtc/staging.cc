@@ -63,7 +63,7 @@ sim::Task Stager::CopyOneFile(fs::Vfs& source, fs::Vfs& destination,
 
 StagingReport Stager::CopyFiles(fs::Vfs& source, fs::Vfs& destination,
                                 const std::vector<std::string>& paths) {
-  sim::Semaphore streams(sim_, std::max<std::uint32_t>(config_.streams, 1));
+  sim::BoundedPool streams(sim_, config_.streams, "staging.streams");
   sim::WaitGroup wg(sim_);
   Shared shared{&streams, &wg, Status::Ok(), 0, 0};
 

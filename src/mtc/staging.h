@@ -18,6 +18,7 @@
 #include "common/units.h"
 #include "memfs/vfs.h"
 #include "sim/future.h"
+#include "sim/pool.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -68,7 +69,7 @@ class Stager {
 
  private:
   struct Shared {
-    sim::Semaphore* streams;
+    sim::BoundedPool* streams;
     sim::WaitGroup* wg;
     Status first_error;
     std::uint64_t bytes = 0;

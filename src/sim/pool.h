@@ -1,0 +1,78 @@
+// Shared bounded fan-out pool.
+//
+// Several layers bound their concurrency the same way: a per-node vector of
+// counting semaphores (MemFS write flushers and prefetchers, AMFS metadata
+// workers) or a single width-limited semaphore (mtc staging streams). Each
+// used to hand-roll the vector-of-unique_ptr-Semaphore plumbing; BoundedPool
+// and PoolGroup centralize it so every pool is named consistently (the name
+// shows up in SimChecker deadlock/leak reports) and width clamping lives in
+// one place.
+//
+//  * BoundedPool — one bounded window of `width` permits. Width is clamped
+//    to >= 1 so a zero-configured pool degrades to serial, never deadlock.
+//  * PoolGroup  — one BoundedPool per node, for per-node resource limits.
+//
+// Both defer entirely to sim::Semaphore for waiter FIFO order and SimChecker
+// instrumentation; call sites keep explicit Acquire()/Release() pairing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace memfs::sim {
+
+class BoundedPool {
+ public:
+  BoundedPool(Simulation& sim, std::uint64_t width,
+              std::string_view name = "BoundedPool")
+      : width_(std::max<std::uint64_t>(width, 1)),
+        sem_(sim, width_, name) {}
+
+  BoundedPool(const BoundedPool&) = delete;
+  BoundedPool& operator=(const BoundedPool&) = delete;
+
+  // co_await pool.Acquire(); ... pool.Release();
+  // lint: allow(acquire-release) forwarding wrapper; callers own the permit
+  Semaphore::Acquirer Acquire() { return sem_.Acquire(); }
+  bool TryAcquire() { return sem_.TryAcquire(); }
+  void Release() { sem_.Release(); }
+
+  std::uint64_t width() const { return width_; }
+  std::uint64_t available() const { return sem_.available(); }
+  std::size_t waiting() const { return sem_.waiting(); }
+  const std::string& name() const { return sem_.name(); }
+
+ private:
+  std::uint64_t width_;
+  Semaphore sem_;
+};
+
+// Per-node family of BoundedPools sharing one name and width.
+class PoolGroup {
+ public:
+  PoolGroup(Simulation& sim, std::size_t nodes, std::uint64_t width,
+            std::string_view name = "PoolGroup") {
+    pools_.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      pools_.push_back(std::make_unique<BoundedPool>(sim, width, name));
+    }
+  }
+
+  PoolGroup(const PoolGroup&) = delete;
+  PoolGroup& operator=(const PoolGroup&) = delete;
+
+  BoundedPool& at(std::size_t node) { return *pools_[node]; }
+  std::size_t size() const { return pools_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<BoundedPool>> pools_;
+};
+
+}  // namespace memfs::sim

@@ -177,6 +177,40 @@ TEST(LintSuppressionTest, CommaSeparatedRuleListIsHonored) {
   EXPECT_EQ(CountRule(findings, "ignored-status"), 0);
 }
 
+TEST(LintSuppressionAuditTest, UnknownRuleNameIsFlagged) {
+  const auto findings = Lint("src/x/use.cc",
+                             "void Caller() {\n"
+                             "  // lint: allow(ignored-stauts) typo\n"
+                             "  DoWork();\n"
+                             "}\n");
+  ASSERT_EQ(CountRule(findings, "allow-unknown"), 1);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("'ignored-stauts'"), std::string::npos);
+}
+
+TEST(LintSuppressionAuditTest, KnownRuleNamesPassTheAudit) {
+  const auto findings =
+      Lint("src/x/use.cc",
+           "Status Push(int v);\n"
+           "void Caller(Sem& sem) {\n"
+           "  // lint: allow(ignored-status, acquire-release) protocol\n"
+           "  Push(1);\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "allow-unknown"), 0);
+}
+
+TEST(LintSuppressionAuditTest, MixedListFlagsOnlyTheUnknownRule) {
+  const auto findings = Lint("src/x/use.cc",
+                             "Status Push(int v);\n"
+                             "void Caller() {\n"
+                             "  // lint: allow(ignored-status, no-such-rule)\n"
+                             "  Push(1);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "ignored-status"), 0);
+  ASSERT_EQ(CountRule(findings, "allow-unknown"), 1);
+  EXPECT_NE(findings[0].message.find("'no-such-rule'"), std::string::npos);
+}
+
 TEST(LintFormatTest, FindingsAreMachineReadable) {
   const auto findings = Lint("src/x/thing.h", "int x;\n");
   ASSERT_EQ(findings.size(), 1u);

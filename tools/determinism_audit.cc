@@ -81,7 +81,7 @@ struct AuditRun {
   std::string checker_summary;  // empty when the checker is clean
 };
 
-AuditRun RunOnce(std::uint64_t seed) {
+AuditRun RunOnce(std::uint64_t seed, bool batching) {
   sim::Simulation sim;
   sim::SimChecker checker(sim);
   net::FairShareNetwork network(sim, net::Das4Ipoib(kNodes));
@@ -97,6 +97,7 @@ AuditRun RunOnce(std::uint64_t seed) {
                         policy);
   fs::MemFsConfig config;
   config.replication = 2;
+  config.io.batching = batching;
   fs::MemFs memfs(sim, network, storage, config);
 
   sim::FaultHooks hooks;
@@ -159,28 +160,45 @@ AuditRun RunOnce(std::uint64_t seed) {
 }  // namespace memfs
 
 int main() {
-  const auto first = memfs::RunOnce(7);
-  const auto second = memfs::RunOnce(7);
-  const auto other = memfs::RunOnce(8);
+  // Batched data path (the default config) and the batching=off passthrough
+  // are audited independently: each must be self-deterministic, and seed
+  // diversity must show through both.
+  const auto first = memfs::RunOnce(7, /*batching=*/true);
+  const auto second = memfs::RunOnce(7, /*batching=*/true);
+  const auto other = memfs::RunOnce(8, /*batching=*/true);
+  const auto plain1 = memfs::RunOnce(7, /*batching=*/false);
+  const auto plain2 = memfs::RunOnce(7, /*batching=*/false);
 
-  std::printf("run 1 (seed 7): digest=%016llx events=%llu faults=%llu "
-              "writes_ok=%u reads_intact=%u\n",
+  std::printf("run 1 (seed 7, batched): digest=%016llx events=%llu "
+              "faults=%llu writes_ok=%u reads_intact=%u\n",
               static_cast<unsigned long long>(first.digest),
               static_cast<unsigned long long>(first.events),
               static_cast<unsigned long long>(first.fault_events),
               first.writes_ok, first.reads_intact);
-  std::printf("run 2 (seed 7): digest=%016llx events=%llu\n",
+  std::printf("run 2 (seed 7, batched): digest=%016llx events=%llu\n",
               static_cast<unsigned long long>(second.digest),
               static_cast<unsigned long long>(second.events));
-  std::printf("run 3 (seed 8): digest=%016llx events=%llu\n",
+  std::printf("run 3 (seed 8, batched): digest=%016llx events=%llu\n",
               static_cast<unsigned long long>(other.digest),
               static_cast<unsigned long long>(other.events));
+  std::printf("run 4 (seed 7, unbatched): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(plain1.digest),
+              static_cast<unsigned long long>(plain1.events));
+  std::printf("run 5 (seed 7, unbatched): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(plain2.digest),
+              static_cast<unsigned long long>(plain2.events));
 
   bool failed = false;
   if (first.digest != second.digest) {
     std::fprintf(stderr,
-                 "FAIL: same-seed runs diverged — nondeterminism in the "
-                 "event stream\n");
+                 "FAIL: same-seed batched runs diverged — nondeterminism in "
+                 "the event stream\n");
+    failed = true;
+  }
+  if (plain1.digest != plain2.digest) {
+    std::fprintf(stderr,
+                 "FAIL: same-seed unbatched runs diverged — nondeterminism "
+                 "in the passthrough path\n");
     failed = true;
   }
   if (first.digest == other.digest) {
@@ -189,7 +207,7 @@ int main() {
                  "the digest does not cover the schedule\n");
     failed = true;
   }
-  for (const auto* run : {&first, &second, &other}) {
+  for (const auto* run : {&first, &second, &other, &plain1, &plain2}) {
     if (!run->checker_summary.empty()) {
       std::fprintf(stderr, "FAIL: SimChecker findings:\n%s",
                    run->checker_summary.c_str());

@@ -28,6 +28,9 @@ using SuppressionMap = std::unordered_map<int, std::set<std::string>>;
 struct TokenizedFile {
   std::vector<Token> tokens;
   SuppressionMap suppressions;
+  // Every `lint: allow(...)` site as written, one (line, rule) pair per rule
+  // named — the raw material for the suppression audit.
+  std::vector<std::pair<int, std::string>> suppression_sites;
   bool has_pragma_once = false;
 };
 
@@ -39,9 +42,11 @@ bool IsIdentChar(char c) {
 }
 
 // A comment containing `lint: allow(rule[, rule])` suppresses those rules on
-// the comment's final line and the line after it.
+// the comment's final line and the line after it. Only identifier-shaped
+// rule names count: prose that merely describes the syntax (ellipses,
+// bracketed placeholders) is neither a suppression nor an audit finding.
 void ParseSuppression(const std::string& comment, int end_line,
-                      SuppressionMap& out) {
+                      TokenizedFile& out) {
   std::size_t pos = comment.find("lint:");
   if (pos == std::string::npos) return;
   pos = comment.find("allow(", pos);
@@ -52,8 +57,15 @@ void ParseSuppression(const std::string& comment, int end_line,
   std::string rule;
   auto flush = [&] {
     if (!rule.empty()) {
-      out[end_line].insert(rule);
-      out[end_line + 1].insert(rule);
+      const bool ident =
+          IsIdentStart(rule.front()) &&
+          std::all_of(rule.begin(), rule.end(),
+                      [](char c) { return IsIdentChar(c) || c == '-'; });
+      if (ident) {
+        out.suppressions[end_line].insert(rule);
+        out.suppressions[end_line + 1].insert(rule);
+        out.suppression_sites.emplace_back(end_line, rule);
+      }
       rule.clear();
     }
   };
@@ -96,7 +108,7 @@ TokenizedFile Tokenize(const std::string& text) {
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
       std::size_t end = text.find('\n', i);
       if (end == std::string::npos) end = n;
-      ParseSuppression(text.substr(i, end - i), line, out.suppressions);
+      ParseSuppression(text.substr(i, end - i), line, out);
       i = end;
       continue;
     }
@@ -108,7 +120,7 @@ TokenizedFile Tokenize(const std::string& text) {
       for (char cc : comment) {
         if (cc == '\n') ++line;
       }
-      ParseSuppression(comment, line, out.suppressions);
+      ParseSuppression(comment, line, out);
       i = (end == n) ? n : end + 2;
       continue;
     }
@@ -515,6 +527,26 @@ void CheckHeaderHygiene(const std::string& path, const TokenizedFile& file,
   }
 }
 
+// --- Rule: allow-unknown (suppression audit) ------------------------------
+
+// A suppression naming a rule the linter does not implement is dead weight:
+// either a typo (the finding it meant to silence still fires) or a leftover
+// from a removed rule. Keep this set in sync with the checks above.
+void CheckSuppressionAudit(const std::string& path, const TokenizedFile& file,
+                           std::vector<Finding>& findings) {
+  static const std::set<std::string> kKnownRules = {
+      "ignored-status", "acquire-release", "nondeterminism",
+      "using-namespace", "pragma-once",    "allow-unknown"};
+  for (const auto& [line, rule] : file.suppression_sites) {
+    if (kKnownRules.count(rule) == 0) {
+      Add(findings, path, line, "allow-unknown",
+          "suppression names unknown rule '" + rule +
+              "'; no such check exists, so this comment silences nothing",
+          file.suppressions);
+    }
+  }
+}
+
 }  // namespace
 
 // --- Public interface -----------------------------------------------------
@@ -584,6 +616,7 @@ std::vector<Finding> Linter::Run(bool include_suppressed) const {
     CheckAcquireRelease(path, file, findings);
     CheckNondeterminism(path, file, findings);
     CheckHeaderHygiene(path, file, findings);
+    CheckSuppressionAudit(path, file, findings);
   }
 
   if (!include_suppressed) {

@@ -26,7 +26,7 @@
 //   using-namespace    `using namespace` in a header.
 //   pragma-once        Header missing `#pragma once`.
 //
-// Suppression: a comment containing `lint: allow(rule)` (optionally a
+// Suppression: a comment containing `lint: allow(<rule>)` (optionally a
 // comma-separated rule list) suppresses findings of those rules on the
 // comment's line and on the following line. Repository convention is to
 // append a one-line justification:

@@ -164,5 +164,32 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   trace::PrintCriticalPath(std::cout, path, csv, top);
+
+  // Per-server kv activity: how the client spread RPCs over the cluster and
+  // where retries / breaker trips / batching concentrated.
+  if (kv::KvCluster* storage = bed.storage()) {
+    std::cout << "\n# per-server kv activity\n";
+    Table servers({"server", "single", "batches", "items", "ops/rpc",
+                   "retries", "deadline", "breaker", "srv ops"});
+    for (std::uint32_t s = 0; s < storage->server_count(); ++s) {
+      const kv::KvServerClientStats& client = storage->server_stats(s);
+      const kv::KvServerStats& srv = storage->server(s).stats();
+      const std::uint64_t rpcs = client.single_ops + client.batches;
+      const std::uint64_t ops = client.single_ops + client.batched_items;
+      const std::uint64_t served = srv.sets + srv.adds + srv.gets +
+                                   srv.appends + srv.deletes;
+      servers.AddRow({Table::Int(s), Table::Int(client.single_ops),
+                      Table::Int(client.batches),
+                      Table::Int(client.batched_items),
+                      Table::Num(rpcs == 0 ? 0.0
+                                           : static_cast<double>(ops) /
+                                                 static_cast<double>(rpcs),
+                                 2),
+                      Table::Int(client.retries),
+                      Table::Int(client.deadline_exceeded),
+                      Table::Int(client.breaker_opens), Table::Int(served)});
+    }
+    servers.Print(std::cout, csv);
+  }
   return 0;
 }
