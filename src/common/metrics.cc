@@ -97,6 +97,26 @@ std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+std::int64_t& MetricsRegistry::Gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
+}
+
+std::int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::string InstanceGaugeName(std::string_view base, std::uint32_t instance) {
+  std::string name(base);
+  name += '/';
+  name += std::to_string(instance);
+  return name;
+}
+
 void MetricsRegistry::Report(std::ostream& os, bool csv) const {
   Table table({"operation", "count", "mean (us)", "p50 (us)", "p90 (us)",
                "p99 (us)", "max (us)"});
@@ -116,6 +136,18 @@ void MetricsRegistry::Report(std::ostream& os, bool csv) const {
       if (value != 0) events.AddRow({name, Table::Int(value)});
     }
     events.Print(os, csv);
+  }
+  bool any_gauge = false;
+  for (const auto& [name, value] : gauges_) {
+    (void)name;
+    if (value != 0) any_gauge = true;
+  }
+  if (any_gauge) {
+    Table levels({"gauge", "value"});
+    for (const auto& [name, value] : gauges_) {
+      if (value != 0) levels.AddRow({name, std::to_string(value)});
+    }
+    levels.Print(os, csv);
   }
 }
 

@@ -64,11 +64,24 @@ class MetricsRegistry {
   // Value of a counter without creating it (0 when absent).
   std::uint64_t CounterValue(std::string_view name) const;
 
+  // Instantaneous-state gauge for `name` (queue depth, memory bytes, open
+  // files, breaker state, ...), created at zero on first use. Unlike a
+  // counter a gauge goes up and down: set it by assignment, adjust it with
+  // +=/-=. The monitor's sampler (src/monitor) scrapes every gauge at each
+  // window boundary. References stay valid for the registry's lifetime.
+  std::int64_t& Gauge(std::string_view name);
+
+  // Value of a gauge without creating it (0 when absent).
+  std::int64_t GaugeValue(std::string_view name) const;
+
   const std::map<std::string, LatencyHistogram, std::less<>>& all() const {
     return histograms_;
   }
   const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
+  }
+  const std::map<std::string, std::int64_t, std::less<>>& gauges() const {
+    return gauges_;
   }
 
   // Aligned percentile table (name, count, mean, p50, p90, p99, max in µs),
@@ -78,6 +91,22 @@ class MetricsRegistry {
  private:
   std::map<std::string, LatencyHistogram, std::less<>> histograms_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
 };
+
+// Naming convention for per-instance series: one gauge per (kind, instance)
+// pair, e.g. "kv.mem_bytes/3" for server 3. The monitor's symmetry auditor
+// groups gauges sharing a base name by this convention.
+std::string InstanceGaugeName(std::string_view base, std::uint32_t instance);
+
+// Null-safe helpers for the gauge pointers instrumented layers cache at
+// construction (nullptr when no registry is attached): one branch on the
+// uninstrumented path, matching the tracer's null-context discipline.
+inline void GaugeAdd(std::int64_t* gauge, std::int64_t delta) {
+  if (gauge != nullptr) *gauge += delta;
+}
+inline void GaugeSet(std::int64_t* gauge, std::int64_t value) {
+  if (gauge != nullptr) *gauge = value;
+}
 
 }  // namespace memfs

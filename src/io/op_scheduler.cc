@@ -22,6 +22,14 @@ OpScheduler::Lane& OpScheduler::LaneFor(net::NodeId client,
     lane->server = server;
     lane->window =
         std::make_unique<sim::BoundedPool>(sim_, config_.window, "io.window");
+    if (MetricsRegistry* metrics = cluster_.metrics(); metrics != nullptr) {
+      lane->queued_gauge =
+          &metrics->Gauge(InstanceGaugeName("io.queued", server));
+      lane->batches_gauge =
+          &metrics->Gauge(InstanceGaugeName("io.inflight_batches", server));
+      lane->fill_gauge =
+          &metrics->Gauge(InstanceGaugeName("io.batch_fill", server));
+    }
     it = lanes_.emplace(key, std::move(lane)).first;
   }
   return *it->second;
@@ -41,6 +49,7 @@ sim::Future<Status> OpScheduler::EnqueueMutation(net::NodeId client,
   op.wait_span = trace::Child(trace, "kv.batch.wait", "kv");
   auto future = op.status_done.GetFuture();
   lane.queue.push_back(std::move(op));
+  GaugeAdd(lane.queued_gauge, 1);
   ++stats_.batched_ops;
   if (!lane.draining) {
     lane.draining = true;
@@ -113,6 +122,7 @@ sim::Future<Result<Bytes>> OpScheduler::Get(net::NodeId client,
   op.wait_span = trace::Child(trace, "kv.batch.wait", "kv");
   auto future = op.value_done.GetFuture();
   lane.queue.push_back(std::move(op));
+  GaugeAdd(lane.queued_gauge, 1);
   ++stats_.batched_ops;
   if (!lane.draining) {
     lane.draining = true;
@@ -153,6 +163,8 @@ sim::Task OpScheduler::RunDrain(Lane* lane) {
       }
     }
     lane->queue = std::move(rest);
+    GaugeAdd(lane->queued_gauge,
+             -static_cast<std::int64_t>(batch.size()));
     RunBatch(lane, kind, std::move(batch));
   }
   lane->draining = false;
@@ -165,6 +177,8 @@ sim::Task OpScheduler::RunBatch(Lane* lane, kv::BatchKind kind,
                                 std::vector<PendingOp> ops) {
   ++stats_.batches;
   stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, ops.size());
+  GaugeAdd(lane->batches_gauge, 1);
+  GaugeSet(lane->fill_gauge, static_cast<std::int64_t>(ops.size()));
   std::vector<kv::BatchItem> items;
   items.reserve(ops.size());
   for (PendingOp& op : ops) {
@@ -176,6 +190,7 @@ sim::Task OpScheduler::RunBatch(Lane* lane, kv::BatchKind kind,
       lane->client, lane->server, kind, std::move(items),
       ops.front().wait_span);
   lane->window->Release();
+  GaugeAdd(lane->batches_gauge, -1);
   for (std::size_t i = 0; i < ops.size(); ++i) {
     PendingOp& op = ops[i];
     kv::BatchItemResult& result = results[i];

@@ -128,6 +128,13 @@ class OpScheduler {
     std::deque<PendingOp> queue;
     bool draining = false;
     std::unique_ptr<sim::BoundedPool> window;
+    // Monitor gauges, aggregated per server (lanes from different clients to
+    // the same server share the registry slot); nullptr when the cluster has
+    // no registry. queued = ops waiting to join a batch, batches = batch
+    // RPCs holding a window slot, fill = size of the last batch issued.
+    std::int64_t* queued_gauge = nullptr;    // io.queued/<server>
+    std::int64_t* batches_gauge = nullptr;   // io.inflight_batches/<server>
+    std::int64_t* fill_gauge = nullptr;      // io.batch_fill/<server>
   };
 
   Lane& LaneFor(net::NodeId client, std::uint32_t server);

@@ -42,6 +42,15 @@ Result<Bytes> ErrorResult<Result<Bytes>>(Status status) {
 Status StatusOf(const Status& status) { return status; }
 Status StatusOf(const Result<Bytes>& result) { return result.status(); }
 
+// Mirrors the server's storage footprint into its monitor gauges after an
+// apply (one branch per gauge without a registry).
+void SyncStorageGauges(const KvCluster::ServerSlotAccess& slot) {
+  GaugeSet(slot.mem_gauge,
+           static_cast<std::int64_t>(slot.state->memory_used()));
+  GaugeSet(slot.objects_gauge,
+           static_cast<std::int64_t>(slot.state->object_count()));
+}
+
 // Awaits an operation's future and records the client-observed latency.
 template <typename T>
 sim::Task RecordKvLatency(sim::Future<T> future, sim::Simulation* sim,
@@ -101,11 +110,14 @@ sim::Task RunMutationAttempt(sim::Simulation& sim, net::Network& network,
     race->Settle(status::Unavailable("server down"));
     co_return;
   }
+  GaugeAdd(slot.queue_gauge, 1);
   {
     trace::ScopedSpan queued = trace::ScopedSpan::Adopt(
         trace::ChildOn(ctx, "kv.queue", "queue", slot.node));
     co_await slot.workers->Acquire();
   }
+  GaugeAdd(slot.queue_gauge, -1);
+  GaugeAdd(slot.inflight_gauge, 1);
   {
     trace::ScopedSpan service = trace::ScopedSpan::Adopt(
         trace::ChildOn(ctx, "kv.service", "kv.service", slot.node));
@@ -118,12 +130,15 @@ sim::Task RunMutationAttempt(sim::Simulation& sim, net::Network& network,
     // exactly-once for non-idempotent ADD/APPEND.
     trace::Event(ctx, "cancelled_before_commit");
     slot.workers->Release();
+    GaugeAdd(slot.inflight_gauge, -1);
     co_return;
   }
   race->applied = true;
   trace::Event(ctx, "commit");
   Status status = (*apply)();
+  SyncStorageGauges(slot);
   slot.workers->Release();
+  GaugeAdd(slot.inflight_gauge, -1);
   {
     trace::ScopedSpan leg(ctx, "net.ack", "net");
     co_await network.Transfer(slot.node, client, ack_bytes);
@@ -156,11 +171,14 @@ sim::Task RunGetAttempt(sim::Simulation& sim, net::Network& network,
     race->Settle(Result<Bytes>(status::Unavailable("server down")));
     co_return;
   }
+  GaugeAdd(slot.queue_gauge, 1);
   {
     trace::ScopedSpan queued = trace::ScopedSpan::Adopt(
         trace::ChildOn(ctx, "kv.queue", "queue", slot.node));
     co_await slot.workers->Acquire();
   }
+  GaugeAdd(slot.queue_gauge, -1);
+  GaugeAdd(slot.inflight_gauge, 1);
   Result<Bytes> result = state->Get(key);
   const std::uint64_t value_bytes =
       result.ok() ? result.value().StoredSize() : 0;
@@ -175,6 +193,7 @@ sim::Task RunGetAttempt(sim::Simulation& sim, net::Network& network,
         static_cast<double>(service) * *slot.slow_factor));
   }
   slot.workers->Release();
+  GaugeAdd(slot.inflight_gauge, -1);
   if (race->settled) {
     trace::Event(ctx, "abandoned");  // no one is listening
     co_return;
@@ -298,11 +317,14 @@ sim::Task RunBatchAttempt(sim::Simulation& sim, net::Network& network,
     attempt->Settle();
     co_return;
   }
+  GaugeAdd(slot.queue_gauge, 1);
   {
     trace::ScopedSpan queued = trace::ScopedSpan::Adopt(
         trace::ChildOn(ctx, "kv.queue", "queue", slot.node));
     co_await slot.workers->Acquire();
   }
+  GaugeAdd(slot.queue_gauge, -1);
+  GaugeAdd(slot.inflight_gauge, 1);
   std::uint64_t reply_payload = 0;
   for (std::size_t j = 0; j < indices->size(); ++j) {
     BatchItem& item = (*items)[(*indices)[j]];
@@ -336,6 +358,7 @@ sim::Task RunBatchAttempt(sim::Simulation& sim, net::Network& network,
       // discarded — a later round retries them exactly-once.
       trace::Event(ctx, "cancelled_mid_batch");
       slot.workers->Release();
+      GaugeAdd(slot.inflight_gauge, -1);
       co_return;
     }
     if (!applied) result = state->ApplyBatchItem(kind, item);
@@ -344,8 +367,10 @@ sim::Task RunBatchAttempt(sim::Simulation& sim, net::Network& network,
     }
     attempt->results[j] = std::move(result);
     attempt->resolved[j] = 1;
+    SyncStorageGauges(slot);
   }
   slot.workers->Release();
+  GaugeAdd(slot.inflight_gauge, -1);
   {
     trace::ScopedSpan leg(ctx, "net.reply", "net");
     co_await network.Transfer(slot.node, client,
@@ -375,8 +400,20 @@ std::uint32_t KvCluster::AddServer(net::NodeId node) {
   slot.state = std::make_unique<KvServer>(server_config_);
   slot.workers = std::make_unique<sim::Semaphore>(sim_, cost_.workers);
   slot.breaker = CircuitBreaker(policy_.breaker);
+  const auto index = static_cast<std::uint32_t>(servers_.size());
+  if (metrics_ != nullptr) {
+    slot.mem_gauge =
+        &metrics_->Gauge(InstanceGaugeName("kv.mem_bytes", index));
+    slot.objects_gauge =
+        &metrics_->Gauge(InstanceGaugeName("kv.objects", index));
+    slot.queue_gauge = &metrics_->Gauge(InstanceGaugeName("kv.queue", index));
+    slot.inflight_gauge =
+        &metrics_->Gauge(InstanceGaugeName("kv.inflight", index));
+    slot.breaker_gauge =
+        &metrics_->Gauge(InstanceGaugeName("kv.breaker", index));
+  }
   servers_.push_back(std::move(slot));
-  return static_cast<std::uint32_t>(servers_.size() - 1);
+  return index;
 }
 
 template <typename T>
@@ -391,7 +428,10 @@ sim::Task KvCluster::RunWithRetry(
   T result = ErrorResult<T>(status::Unavailable("no attempt made"));
   std::uint32_t attempts = 0;
   while (true) {
-    if (!slot.breaker.AllowRequest(sim_.now())) {
+    const bool allowed = slot.breaker.AllowRequest(sim_.now());
+    GaugeSet(slot.breaker_gauge,
+             static_cast<std::int64_t>(slot.breaker.state()));
+    if (!allowed) {
       ++stats_.breaker_fast_fails;
       ++slot.client_stats.breaker_fast_fails;
       if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_fast_fails");
@@ -427,6 +467,8 @@ sim::Task KvCluster::RunWithRetry(
           if (metrics_ != nullptr) ++metrics_->Counter("kv.deadline_exceeded");
         }
       }
+      GaugeSet(slot.breaker_gauge,
+               static_cast<std::int64_t>(slot.breaker.state()));
     }
     const Status status = StatusOf(result);
     if (status.ok() || !IsRetryable(status.code())) break;
@@ -457,7 +499,10 @@ sim::Task KvCluster::RunBatchWithRetry(
   RetryState retry(policy_.retry, sim_.now());
   std::uint32_t attempts = 0;
   while (!active.empty()) {
-    if (!slot.breaker.AllowRequest(sim_.now())) {
+    const bool allowed = slot.breaker.AllowRequest(sim_.now());
+    GaugeSet(slot.breaker_gauge,
+             static_cast<std::int64_t>(slot.breaker.state()));
+    if (!allowed) {
       ++stats_.breaker_fast_fails;
       ++slot.client_stats.breaker_fast_fails;
       if (metrics_ != nullptr) ++metrics_->Counter("kv.breaker_fast_fails");
@@ -516,6 +561,8 @@ sim::Task KvCluster::RunBatchWithRetry(
           if (metrics_ != nullptr) ++metrics_->Counter("kv.deadline_exceeded");
         }
       }
+      GaugeSet(slot.breaker_gauge,
+               static_cast<std::int64_t>(slot.breaker.state()));
       active = std::move(failed);
     }
     if (active.empty()) break;
@@ -680,7 +727,11 @@ sim::Future<std::vector<BatchItemResult>> KvCluster::Batch(
 void KvCluster::SetServerDown(std::uint32_t index, bool down,
                               bool wipe_on_restart) {
   auto& slot = servers_[index];
-  if (!down && wipe_on_restart) slot.state->Clear();
+  if (!down && wipe_on_restart) {
+    slot.state->Clear();
+    GaugeSet(slot.mem_gauge, 0);
+    GaugeSet(slot.objects_gauge, 0);
+  }
   slot.down = down;
 }
 

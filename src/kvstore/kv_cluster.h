@@ -116,12 +116,19 @@ struct BatchAttempt;
 class KvCluster {
  public:
   // Lightweight view handed to the protocol coroutines (the slot itself
-  // outlives every in-flight operation because the cluster owns it).
+  // outlives every in-flight operation because the cluster owns it). The
+  // gauge pointers are nullptr without a registry — GaugeAdd/GaugeSet then
+  // reduce to one branch, the tracer's null-context discipline.
   struct ServerSlotAccess {
     net::NodeId node;
     sim::Semaphore* workers;
     const bool* down;
     const double* slow_factor;
+    KvServer* state = nullptr;
+    std::int64_t* mem_gauge = nullptr;       // kv.mem_bytes/<index>
+    std::int64_t* objects_gauge = nullptr;   // kv.objects/<index>
+    std::int64_t* queue_gauge = nullptr;     // kv.queue/<index>
+    std::int64_t* inflight_gauge = nullptr;  // kv.inflight/<index>
   };
 
   // `metrics` (optional, caller-owned) records kv.set/get/append/delete
@@ -144,6 +151,9 @@ class KvCluster {
   const KvOpCostModel& cost_model() const { return cost_; }
   const KvClientPolicy& client_policy() const { return policy_; }
   const KvClusterStats& stats() const { return stats_; }
+  // The registry this cluster records into (nullptr when uninstrumented);
+  // layered clients (src/io) register their own gauges against it.
+  MetricsRegistry* metrics() const { return metrics_; }
 
   // All operations are addressed by server index (the caller's Distributor
   // picks the index) and carry the issuing client's node for the network leg.
@@ -221,6 +231,15 @@ class KvCluster {
     double slow_factor = 1.0;
     CircuitBreaker breaker;
     KvServerClientStats client_stats;
+    // Per-server monitor gauges (see monitor/monitor.h), nullptr without a
+    // registry. Storage gauges track the server state after every apply;
+    // queue/inflight track worker-slot demand; breaker holds the
+    // CircuitBreaker::State numeric (0 closed, 1 open, 2 half-open).
+    std::int64_t* mem_gauge = nullptr;
+    std::int64_t* objects_gauge = nullptr;
+    std::int64_t* queue_gauge = nullptr;
+    std::int64_t* inflight_gauge = nullptr;
+    std::int64_t* breaker_gauge = nullptr;
   };
 
   sim::SimTime ServiceTime(sim::SimTime base, double ns_per_byte,
@@ -230,7 +249,9 @@ class KvCluster {
   }
 
   ServerSlotAccess AccessOf(ServerSlot& slot) const {
-    return {slot.node, slot.workers.get(), &slot.down, &slot.slow_factor};
+    return {slot.node,          slot.workers.get(), &slot.down,
+            &slot.slow_factor,  slot.state.get(),   slot.mem_gauge,
+            slot.objects_gauge, slot.queue_gauge,   slot.inflight_gauge};
   }
 
   // Retry driver: runs `launch` attempts (each writing into a fresh race

@@ -21,6 +21,17 @@ MemFs::MemFs(sim::Simulation& sim, net::Network& network,
       read_pool_(sim, network.config().nodes, config.read_threads,
                  "memfs.read_pool") {
   epochs_.push_back(MakeDistributor(storage_.server_count()));
+  if (config_.metrics != nullptr) {
+    const std::uint32_t nodes = network.config().nodes;
+    open_files_gauges_.reserve(nodes);
+    dirty_gauges_.reserve(nodes);
+    for (std::uint32_t node = 0; node < nodes; ++node) {
+      open_files_gauges_.push_back(
+          &config_.metrics->Gauge(InstanceGaugeName("fs.open_files", node)));
+      dirty_gauges_.push_back(
+          &config_.metrics->Gauge(InstanceGaugeName("fs.dirty_bytes", node)));
+    }
+  }
   // Bootstrap the root directory record directly into its home server (and
   // every replica); this happens at deployment time, before any simulated
   // traffic.
@@ -415,6 +426,7 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
   const FileHandle handle = next_handle_++;
   handles_.emplace(handle, std::move(file));
   ++stats_.files_created;
+  GaugeAdd(OpenFilesGauge(ctx.node), 1);
   done.Set(handle);
 }
 
@@ -448,6 +460,7 @@ sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
   stats_.bytes_written += data.size();
   file->written += data.size();
   file->pending.Append(data);
+  GaugeAdd(DirtyGauge(file->node), static_cast<std::int64_t>(data.size()));
 
   // Carve and ship every full stripe. SubmitStripe blocks on buffer
   // capacity, so a writer outrunning the network parks here — that is the
@@ -457,6 +470,8 @@ sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
     Bytes stripe = file->pending.Slice(0, config_.stripe_size);
     file->pending = file->pending.Slice(
         config_.stripe_size, file->pending.size() - config_.stripe_size);
+    GaugeAdd(DirtyGauge(file->node),
+             -static_cast<std::int64_t>(config_.stripe_size));
     sim::VoidPromise accepted(sim_);
     auto accepted_future = accepted.GetFuture();
     SubmitStripe(file, file->next_stripe++, std::move(stripe),
@@ -582,6 +597,8 @@ sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
     if (!file->pending.empty()) {
       Bytes tail = std::move(file->pending);
       file->pending = Bytes();
+      GaugeAdd(DirtyGauge(file->node),
+               -static_cast<std::int64_t>(tail.size()));
       sim::VoidPromise accepted(sim_);
       auto accepted_future = accepted.GetFuture();
       SubmitStripe(file, file->next_stripe++, std::move(tail),
@@ -600,6 +617,7 @@ sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
     }
   }
   handles_.erase(handle);
+  GaugeAdd(OpenFilesGauge(ctx.node), -1);
   done.Set(std::move(result));
 }
 
@@ -659,6 +677,7 @@ sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
   const FileHandle handle = next_handle_++;
   handles_.emplace(handle, std::move(file));
   ++stats_.files_opened;
+  GaugeAdd(OpenFilesGauge(ctx.node), 1);
   done.Set(handle);
 }
 

@@ -303,6 +303,19 @@ class MemFs final : public Vfs {
   std::unordered_map<FileHandle, std::unique_ptr<OpenFile>> handles_;
   FileHandle next_handle_ = 1;
   MemFsStats stats_;
+
+  // Per-client-node monitor gauges (empty without a registry): open handles
+  // and unshipped write-buffer bytes, sampled by src/monitor.
+  std::vector<std::int64_t*> open_files_gauges_;  // fs.open_files/<node>
+  std::vector<std::int64_t*> dirty_gauges_;       // fs.dirty_bytes/<node>
+
+  std::int64_t* OpenFilesGauge(net::NodeId node) const {
+    return node < open_files_gauges_.size() ? open_files_gauges_[node]
+                                            : nullptr;
+  }
+  std::int64_t* DirtyGauge(net::NodeId node) const {
+    return node < dirty_gauges_.size() ? dirty_gauges_[node] : nullptr;
+  }
 };
 
 }  // namespace memfs::fs

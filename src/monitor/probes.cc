@@ -1,0 +1,30 @@
+#include "monitor/probes.h"
+
+namespace memfs::monitor {
+
+void AttachNetworkProbes(Monitor& monitor, const net::Network& network) {
+  const net::NetworkConfig& config = network.config();
+  const double scale =
+      config.nic_bandwidth > 0
+          ? 1.0 / static_cast<double>(config.nic_bandwidth)
+          : 0.0;
+  for (net::NodeId node = 0; node < config.nodes; ++node) {
+    monitor.AddRateProbe(
+        InstanceGaugeName("net.tx_util", node),
+        [&network, node] {
+          return static_cast<double>(network.bytes_sent(node));
+        },
+        scale);
+    monitor.AddRateProbe(
+        InstanceGaugeName("net.rx_util", node),
+        [&network, node] {
+          return static_cast<double>(network.bytes_received(node));
+        },
+        scale);
+  }
+  monitor.AddGaugeProbe("net.active_flows", [&network] {
+    return static_cast<double>(network.active_flows());
+  });
+}
+
+}  // namespace memfs::monitor

@@ -1,0 +1,19 @@
+// Standard pull probes for layers that have no MetricsRegistry.
+//
+// The network keeps cumulative per-node byte counters but no registry; these
+// helpers expose them to the monitor as per-window utilization series
+// ("net.tx_util/N", "net.rx_util/N" — fraction of NIC capacity used over the
+// window) plus the cluster-wide in-flight flow count ("net.active_flows").
+// Probes read counters only, so attaching them never perturbs the run.
+#pragma once
+
+#include "monitor/monitor.h"
+#include "net/network.h"
+
+namespace memfs::monitor {
+
+// Attaches per-node tx/rx utilization rate probes and an active-flow gauge
+// probe. `network` must outlive `monitor`.
+void AttachNetworkProbes(Monitor& monitor, const net::Network& network);
+
+}  // namespace memfs::monitor

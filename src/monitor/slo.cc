@@ -1,0 +1,305 @@
+#include "monitor/slo.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+#include "monitor/symmetry.h"
+
+namespace memfs::monitor {
+
+namespace {
+
+bool SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(text)};
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool ParseTerm(const std::string& token, SloTerm* term, std::string* error) {
+  const auto open = token.find('(');
+  if (open == std::string::npos || token.back() != ')' ||
+      open + 1 >= token.size() - 1) {
+    return SetError(error, "expected fn(arg), got '" + token + "'");
+  }
+  const std::string fn = token.substr(0, open);
+  term->arg = token.substr(open + 1, token.size() - open - 2);
+  if (fn == "value") {
+    term->fn = SloFn::kValue;
+  } else if (fn == "sum") {
+    term->fn = SloFn::kSum;
+  } else if (fn == "max") {
+    term->fn = SloFn::kMax;
+  } else if (fn == "min") {
+    term->fn = SloFn::kMin;
+  } else if (fn == "skew") {
+    term->fn = SloFn::kSkew;
+  } else if (fn == "cv") {
+    term->fn = SloFn::kCv;
+  } else if (fn == "chi2") {
+    term->fn = SloFn::kChi2;
+  } else {
+    return SetError(error, "unknown function '" + fn + "'");
+  }
+  return true;
+}
+
+bool ParseOp(const std::string& token, SloOp* op, std::string* error) {
+  if (token == "<") {
+    *op = SloOp::kLt;
+  } else if (token == "<=") {
+    *op = SloOp::kLe;
+  } else if (token == ">") {
+    *op = SloOp::kGt;
+  } else if (token == ">=") {
+    *op = SloOp::kGe;
+  } else {
+    return SetError(error, "expected <, <=, > or >=, got '" + token + "'");
+  }
+  return true;
+}
+
+bool ParseNumber(const std::string& token, double* value, std::string* error) {
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return SetError(error, "expected a number, got '" + token + "'");
+  }
+  return true;
+}
+
+// Parses "term op number" starting at tokens[*pos]; advances *pos past it.
+bool ParseCondition(const std::vector<std::string>& tokens, std::size_t* pos,
+                    SloCondition* condition, std::string* error) {
+  if (*pos + 3 > tokens.size()) {
+    return SetError(error, "incomplete condition at end of rule");
+  }
+  if (!ParseTerm(tokens[*pos], &condition->term, error)) return false;
+  if (!ParseOp(tokens[*pos + 1], &condition->op, error)) return false;
+  if (!ParseNumber(tokens[*pos + 2], &condition->threshold, error)) {
+    return false;
+  }
+  *pos += 3;
+  return true;
+}
+
+bool Compare(double value, SloOp op, double threshold) {
+  switch (op) {
+    case SloOp::kLt: return value < threshold;
+    case SloOp::kLe: return value <= threshold;
+    case SloOp::kGt: return value > threshold;
+    case SloOp::kGe: return value >= threshold;
+  }
+  return false;
+}
+
+// Higher is worse for upper-bound rules (<, <=), lower for lower bounds.
+bool Worse(double candidate, double incumbent, SloOp op) {
+  return (op == SloOp::kLt || op == SloOp::kLe) ? candidate > incumbent
+                                                : candidate < incumbent;
+}
+
+std::optional<double> EvalTerm(const Monitor& monitor, const Window& window,
+                               std::size_t window_index, const SloTerm& term) {
+  if (term.fn == SloFn::kValue) {
+    const std::size_t id = monitor.SeriesId(term.arg);
+    if (id == kNoSeries) return std::nullopt;
+    const double value = Monitor::Value(window, id);
+    if (std::isnan(value)) return std::nullopt;
+    return value;
+  }
+  const std::vector<std::size_t> ids = monitor.InstancesOf(term.arg);
+  if (ids.empty()) return std::nullopt;
+  if (term.fn == SloFn::kSkew || term.fn == SloFn::kCv ||
+      term.fn == SloFn::kChi2) {
+    const BalanceStats stats =
+        SymmetryAuditor::Balance(window, window_index, ids);
+    if (stats.instances == 0) return std::nullopt;
+    if (term.fn == SloFn::kSkew) return stats.max_skew;
+    if (term.fn == SloFn::kCv) return stats.cv;
+    return stats.chi_square;
+  }
+  bool any = false;
+  double sum = 0.0;
+  double mn = 0.0;
+  double mx = 0.0;
+  for (const std::size_t id : ids) {
+    const double value = Monitor::Value(window, id);
+    if (std::isnan(value)) continue;
+    if (!any) {
+      mn = mx = value;
+    } else {
+      mn = std::min(mn, value);
+      mx = std::max(mx, value);
+    }
+    sum += value;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  if (term.fn == SloFn::kSum) return sum;
+  if (term.fn == SloFn::kMax) return mx;
+  return mn;
+}
+
+const char* OpName(SloOp op) {
+  switch (op) {
+    case SloOp::kLt: return "<";
+    case SloOp::kLe: return "<=";
+    case SloOp::kGt: return ">";
+    case SloOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<SloRule> ParseSloRule(std::string_view text,
+                                    std::string* error) {
+  SloRule rule;
+  rule.text = std::string(text);
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty()) {
+    SetError(error, "empty rule");
+    return std::nullopt;
+  }
+  std::size_t pos = 0;
+  if (!ParseCondition(tokens, &pos, &rule.condition, error)) {
+    return std::nullopt;
+  }
+  if (pos < tokens.size() && tokens[pos] == "when") {
+    ++pos;
+    SloCondition guard;
+    if (!ParseCondition(tokens, &pos, &guard, error)) return std::nullopt;
+    rule.guard = guard;
+  }
+  if (pos < tokens.size() && tokens[pos] == "for") {
+    if (pos + 4 != tokens.size() || tokens[pos + 2] != "of" ||
+        tokens[pos + 3] != "windows") {
+      SetError(error, "expected 'for <pct>% of windows' at end of rule");
+      return std::nullopt;
+    }
+    std::string pct = tokens[pos + 1];
+    if (pct.empty() || pct.back() != '%') {
+      SetError(error, "expected a percentage, got '" + pct + "'");
+      return std::nullopt;
+    }
+    pct.pop_back();
+    double fraction = 0.0;
+    if (!ParseNumber(pct, &fraction, error)) return std::nullopt;
+    if (fraction < 0.0 || fraction > 100.0) {
+      SetError(error, "percentage out of range: " + pct);
+      return std::nullopt;
+    }
+    rule.min_pass_fraction = fraction / 100.0;
+    pos += 4;
+  }
+  if (pos != tokens.size()) {
+    SetError(error, "unexpected trailing token '" + tokens[pos] + "'");
+    return std::nullopt;
+  }
+  return rule;
+}
+
+bool SloWatchdog::AddRule(std::string_view text, std::string* error) {
+  std::optional<SloRule> rule = ParseSloRule(text, error);
+  if (!rule.has_value()) return false;
+  rules_.push_back(*std::move(rule));
+  return true;
+}
+
+std::vector<SloResult> SloWatchdog::Evaluate() const {
+  std::vector<SloResult> results;
+  results.reserve(rules_.size());
+  const std::deque<Window>& windows = monitor_->windows();
+  for (const SloRule& rule : rules_) {
+    SloResult result;
+    result.rule = rule;
+    bool have_worst = false;
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      const Window& window = windows[w];
+      if (rule.guard.has_value()) {
+        const std::optional<double> guard_value =
+            EvalTerm(*monitor_, window, w, rule.guard->term);
+        if (!guard_value.has_value() ||
+            !Compare(*guard_value, rule.guard->op, rule.guard->threshold)) {
+          continue;
+        }
+      }
+      const std::optional<double> value =
+          EvalTerm(*monitor_, window, w, rule.condition.term);
+      if (!value.has_value()) continue;
+      ++result.windows_evaluated;
+      if (!have_worst || Worse(*value, result.worst_value,
+                               rule.condition.op)) {
+        result.worst_value = *value;
+        result.worst_window = w;
+        have_worst = true;
+      }
+      if (Compare(*value, rule.condition.op, rule.condition.threshold)) {
+        ++result.windows_passed;
+      } else {
+        result.violations.push_back(
+            {w, window.start, window.end, *value});
+      }
+    }
+    if (result.windows_evaluated > 0) {
+      result.pass_fraction =
+          static_cast<double>(result.windows_passed) /
+          static_cast<double>(result.windows_evaluated);
+    }
+    result.satisfied = result.pass_fraction >= rule.min_pass_fraction;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void SloWatchdog::PrintResults(const std::vector<SloResult>& results,
+                               std::ostream& os, bool csv, bool verbose,
+                               std::size_t max_violations) {
+  Table table({"rule", "status", "evaluated", "passed", "pass %",
+               "required %", "worst", "worst window"});
+  for (const SloResult& result : results) {
+    table.AddRow({result.rule.text,
+                  result.satisfied ? "PASS" : "FAIL",
+                  Table::Int(result.windows_evaluated),
+                  Table::Int(result.windows_passed),
+                  Table::Num(result.pass_fraction * 100.0, 2),
+                  Table::Num(result.rule.min_pass_fraction * 100.0, 2),
+                  result.windows_evaluated > 0
+                      ? Table::Num(result.worst_value, 4)
+                      : "-",
+                  Table::Int(result.worst_window)});
+  }
+  table.Print(os, csv);
+  if (!verbose) return;
+  for (const SloResult& result : results) {
+    if (result.violations.empty()) continue;
+    os << "violations of [" << result.rule.text << "] ("
+       << result.violations.size() << " windows):\n";
+    std::size_t shown = 0;
+    for (const SloViolation& violation : result.violations) {
+      if (shown++ >= max_violations) {
+        os << "  ... " << (result.violations.size() - max_violations)
+           << " more\n";
+        break;
+      }
+      os << "  window " << violation.window << " ["
+         << static_cast<double>(violation.start) / 1e6 << " ms, "
+         << static_cast<double>(violation.end) / 1e6 << " ms) "
+         << OpName(result.rule.condition.op) << " "
+         << result.rule.condition.threshold
+         << " violated: value = " << violation.value << '\n';
+    }
+  }
+}
+
+}  // namespace memfs::monitor

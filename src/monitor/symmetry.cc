@@ -1,0 +1,123 @@
+#include "monitor/symmetry.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace memfs::monitor {
+
+BalanceStats SymmetryAuditor::Balance(const Window& window,
+                                      std::size_t window_index,
+                                      const std::vector<std::size_t>& ids) {
+  BalanceStats stats;
+  stats.window = window_index;
+  stats.start = window.start;
+  stats.end = window.end;
+  RunningStats values;
+  for (const std::size_t id : ids) {
+    const double value = Monitor::Value(window, id);
+    if (std::isnan(value)) continue;
+    values.Add(value);
+  }
+  stats.instances = values.count();
+  if (stats.instances == 0) return stats;
+  stats.mean = values.mean();
+  stats.min = values.min();
+  stats.max = values.max();
+  if (stats.mean == 0.0) return stats;  // degenerate: balanced by definition
+  stats.max_skew = stats.max / stats.mean;
+  stats.cv = values.cv();
+  double abs_dev = 0.0;
+  double chi = 0.0;
+  for (const std::size_t id : ids) {
+    const double value = Monitor::Value(window, id);
+    if (std::isnan(value)) continue;
+    const double diff = value - stats.mean;
+    abs_dev += std::fabs(diff);
+    chi += diff * diff / stats.mean;
+  }
+  stats.mean_skew =
+      abs_dev / static_cast<double>(stats.instances) / stats.mean;
+  stats.chi_square = chi;
+  return stats;
+}
+
+double SymmetryReport::FractionWithinSkew(double limit) const {
+  if (windows.empty()) return 1.0;
+  std::size_t within = 0;
+  for (const BalanceStats& stats : windows) {
+    if (stats.max_skew <= limit) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(windows.size());
+}
+
+SymmetryReport SymmetryAuditor::Audit(std::string_view base) const {
+  SymmetryReport report;
+  report.base = std::string(base);
+  const std::vector<std::size_t> ids = monitor_->InstancesOf(base);
+  report.instance_count = ids.size();
+  if (ids.size() < 2) return report;
+
+  RunningStats cvs;
+  const std::deque<Window>& windows = monitor_->windows();
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    BalanceStats stats = Balance(windows[w], w, ids);
+    if (stats.instances < 2) continue;
+    if (stats.max_skew > report.worst_skew) {
+      report.worst_skew = stats.max_skew;
+      report.worst_skew_window = w;
+    }
+    cvs.Add(stats.cv);
+    report.max_cv = std::max(report.max_cv, stats.cv);
+    report.max_chi_square = std::max(report.max_chi_square, stats.chi_square);
+    report.windows.push_back(std::move(stats));
+  }
+  report.mean_cv = cvs.mean();
+  return report;
+}
+
+std::vector<SymmetryReport> SymmetryAuditor::AuditAll() const {
+  std::vector<SymmetryReport> reports;
+  for (const std::string& base : monitor_->Bases()) {
+    SymmetryReport report = Audit(base);
+    if (report.instance_count < 2) continue;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+void SymmetryAuditor::PrintSummary(std::ostream& os, bool csv) const {
+  Table table({"series", "instances", "windows", "worst skew", "at (ms)",
+               "mean cv", "max cv", "max chi2"});
+  for (const SymmetryReport& report : AuditAll()) {
+    sim::SimTime worst_start = 0;
+    for (const BalanceStats& stats : report.windows) {
+      if (stats.window == report.worst_skew_window) worst_start = stats.start;
+    }
+    table.AddRow({report.base, Table::Int(report.instance_count),
+                  Table::Int(report.windows.size()),
+                  Table::Num(report.worst_skew, 3),
+                  Table::Num(static_cast<double>(worst_start) / 1e6, 3),
+                  Table::Num(report.mean_cv, 4), Table::Num(report.max_cv, 4),
+                  Table::Num(report.max_chi_square, 3)});
+  }
+  table.Print(os, csv);
+}
+
+void SymmetryAuditor::WriteTimelineCsv(const SymmetryReport& report,
+                                       std::ostream& os) {
+  os << "window,start_ns,end_ns,instances,mean,min,max,max_skew,mean_skew,"
+        "cv,chi_square\n";
+  for (const BalanceStats& stats : report.windows) {
+    os << stats.window << ',' << stats.start << ',' << stats.end << ','
+       << stats.instances << ',' << Table::Num(stats.mean, 6) << ','
+       << Table::Num(stats.min, 6) << ',' << Table::Num(stats.max, 6) << ','
+       << Table::Num(stats.max_skew, 6) << ','
+       << Table::Num(stats.mean_skew, 6) << ',' << Table::Num(stats.cv, 6)
+       << ',' << Table::Num(stats.chi_square, 6) << '\n';
+  }
+}
+
+}  // namespace memfs::monitor

@@ -1,0 +1,82 @@
+// Symmetry auditor: per-window balance statistics across server instances.
+//
+// The paper's load-balance argument (§3.2) is that symmetrical striping keeps
+// every server's memory footprint and request load statistically equal. The
+// auditor turns the monitor's per-instance series families ("kv.mem_bytes/0"
+// ... "kv.mem_bytes/7") into a balance timeline: for every window it computes
+// how far the instances diverge — skew (max/mean), coefficient of variation,
+// and a chi-square statistic against the uniform expectation — so imbalance
+// episodes (a hot server, a fault-induced pile-up) show up with their onset
+// and duration, not just as an end-of-run average.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monitor/monitor.h"
+
+namespace memfs::monitor {
+
+// Balance across the instances of one series family in one window. With mean
+// zero the window is degenerate (nothing stored / no traffic): it is reported
+// as perfectly balanced (skew 1, cv/chi2 0) since no instance can be ahead.
+struct BalanceStats {
+  std::size_t window = 0;  // index into Monitor::windows()
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  std::size_t instances = 0;  // instances with a sample in this window
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double max_skew = 1.0;   // max / mean; 1.0 = perfectly balanced
+  double mean_skew = 0.0;  // mean |value - mean| / mean (relative MAD)
+  double cv = 0.0;         // stddev / mean
+  double chi_square = 0.0; // sum (value - mean)^2 / mean, uniform expectation
+};
+
+struct SymmetryReport {
+  std::string base;
+  std::size_t instance_count = 0;
+  std::vector<BalanceStats> windows;  // windows where >= 2 instances sampled
+  // Aggregates over `windows`:
+  double worst_skew = 1.0;
+  std::size_t worst_skew_window = 0;  // Monitor window index
+  double mean_cv = 0.0;
+  double max_cv = 0.0;
+  double max_chi_square = 0.0;
+
+  // Fraction of audited windows with max_skew <= limit (1.0 when none).
+  double FractionWithinSkew(double limit) const;
+};
+
+class SymmetryAuditor {
+ public:
+  explicit SymmetryAuditor(const Monitor& monitor) : monitor_(&monitor) {}
+
+  // Balance stats for one per-instance family (e.g. "kv.mem_bytes").
+  // Single-instance or unknown bases yield an empty report.
+  SymmetryReport Audit(std::string_view base) const;
+
+  // One BalanceStats for an arbitrary set of series ids in one window
+  // (exposed for tests and the SLO watchdog's skew()/cv()/chi2() terms).
+  static BalanceStats Balance(const Window& window, std::size_t window_index,
+                              const std::vector<std::size_t>& ids);
+
+  // Audits every base with >= 2 instances, in name order.
+  std::vector<SymmetryReport> AuditAll() const;
+
+  // One row per audited base: instances, windows, worst skew (and when),
+  // mean/max cv, max chi-square.
+  void PrintSummary(std::ostream& os, bool csv) const;
+
+  // Per-window balance timeline for one report (CSV; one row per window).
+  static void WriteTimelineCsv(const SymmetryReport& report, std::ostream& os);
+
+ private:
+  const Monitor* monitor_;
+};
+
+}  // namespace memfs::monitor

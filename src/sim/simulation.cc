@@ -35,6 +35,13 @@ bool Simulation::Step() {
   // may schedule further events while we run this one.
   Event event = queue_.top();
   queue_.pop();
+  // Tell the clock observer time is about to advance, before the event at
+  // the new instant runs: observed state is exactly "everything up to the
+  // old time", which is what makes window samples exact. Observers never
+  // touch the queue, so the digest below is unaffected.
+  if (clock_observer_ != nullptr && event.time > now_) {
+    clock_observer_->OnClockAdvance(event.time);
+  }
   now_ = event.time;
   ++events_processed_;
   digest_ = FnvMix(FnvMix(digest_, event.time), event.seq);
@@ -55,7 +62,10 @@ SimTime Simulation::RunUntil(SimTime deadline) {
   while (!queue_.empty() && queue_.top().time <= deadline) {
     Step();
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now_ < deadline) {
+    if (clock_observer_ != nullptr) clock_observer_->OnClockAdvance(deadline);
+    now_ = deadline;
+  }
   return now_;
 }
 

@@ -26,6 +26,20 @@ using SimTime = std::uint64_t;  // nanoseconds since simulation start
 
 class SimChecker;  // opt-in correctness instrumentation (sim/checker.h)
 
+// Passive observer of the simulated clock (see src/monitor): notified from
+// Step() when the event about to run carries a later timestamp than the
+// previous one, before its callback executes — i.e. at a moment when no
+// event is mid-flight and all state reflects everything up to the old time.
+// Observers read state only. They MUST NOT schedule events, resume
+// coroutines, or draw randomness: attaching one cannot add queue entries or
+// consume sequence numbers, so the event stream — and EventDigest() — is
+// bit-identical with an observer attached or absent.
+class ClockObserver {
+ public:
+  virtual ~ClockObserver() = default;
+  virtual void OnClockAdvance(SimTime next) = 0;
+};
+
 class Simulation {
  public:
   Simulation() = default;
@@ -71,6 +85,14 @@ class Simulation {
   void AttachChecker(SimChecker* checker) { checker_ = checker; }
   SimChecker* checker() const { return checker_; }
 
+  // Clock observation (see ClockObserver above). One observer at a time;
+  // managed by the observer's constructor/destructor. Step() pays one null
+  // test when none is attached.
+  void AttachClockObserver(ClockObserver* observer) {
+    clock_observer_ = observer;
+  }
+  ClockObserver* clock_observer() const { return clock_observer_; }
+
   // Awaitable: co_await sim.Delay(ns) suspends the calling coroutine for the
   // given simulated duration.
   struct DelayAwaiter {
@@ -112,6 +134,7 @@ class Simulation {
   std::uint64_t events_processed_ = 0;
   std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
   SimChecker* checker_ = nullptr;
+  ClockObserver* clock_observer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

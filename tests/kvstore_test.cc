@@ -217,5 +217,100 @@ TEST_F(KvClusterTest, TotalMemoryAggregates) {
   EXPECT_EQ(cluster_.total_memory_used(), 300u);
 }
 
+// --- Per-server memory accounting through the monitor gauges ---
+//
+// With a registry attached the cluster mirrors each server's memory and
+// object count into "kv.mem_bytes/<n>" / "kv.objects/<n>" gauges on every
+// committed mutation, so the time-series monitor samples accounting that is
+// always consistent with KvServer::memory_used().
+
+class KvGaugeTest : public ::testing::Test {
+ protected:
+  KvGaugeTest()
+      : network_(sim_, net::Das4Ipoib(4)),
+        cluster_(sim_, network_, {0, 1, 2, 3}, KvServerConfig{},
+                 KvOpCostModel{}, &metrics_) {}
+
+  std::int64_t MemGauge(std::uint32_t server) const {
+    return metrics_.GaugeValue(InstanceGaugeName("kv.mem_bytes", server));
+  }
+  std::int64_t ObjectsGauge(std::uint32_t server) const {
+    return metrics_.GaugeValue(InstanceGaugeName("kv.objects", server));
+  }
+
+  sim::Simulation sim_;
+  MetricsRegistry metrics_;
+  net::FairShareNetwork network_;
+  KvCluster cluster_;
+};
+
+TEST_F(KvGaugeTest, SetUpdatesMemoryAndObjectGauges) {
+  ASSERT_TRUE(Await(sim_, cluster_.Set(0, 1, "k", Bytes::Synthetic(100, 1)))
+                  .ok());
+  EXPECT_EQ(MemGauge(1), 100);
+  EXPECT_EQ(ObjectsGauge(1), 1);
+  EXPECT_EQ(MemGauge(1),
+            static_cast<std::int64_t>(cluster_.server(1).memory_used()));
+  // Overwriting replaces, not adds.
+  ASSERT_TRUE(Await(sim_, cluster_.Set(0, 1, "k", Bytes::Synthetic(40, 2)))
+                  .ok());
+  EXPECT_EQ(MemGauge(1), 40);
+  EXPECT_EQ(ObjectsGauge(1), 1);
+}
+
+TEST_F(KvGaugeTest, AppendGrowthTracked) {
+  ASSERT_TRUE(Await(sim_, cluster_.Set(0, 2, "log", Bytes::Synthetic(10, 1)))
+                  .ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        Await(sim_, cluster_.Append(0, 2, "log", Bytes::Synthetic(7, i)))
+            .ok());
+    EXPECT_EQ(MemGauge(2), 10 + 7 * (i + 1));
+  }
+  EXPECT_EQ(MemGauge(2),
+            static_cast<std::int64_t>(cluster_.server(2).memory_used()));
+  EXPECT_EQ(ObjectsGauge(2), 1);
+}
+
+TEST_F(KvGaugeTest, DeleteReclaimsGaugedMemory) {
+  ASSERT_TRUE(Await(sim_, cluster_.Set(0, 0, "a", Bytes::Synthetic(64, 1)))
+                  .ok());
+  ASSERT_TRUE(Await(sim_, cluster_.Set(0, 0, "b", Bytes::Synthetic(36, 2)))
+                  .ok());
+  EXPECT_EQ(MemGauge(0), 100);
+  EXPECT_EQ(ObjectsGauge(0), 2);
+  ASSERT_TRUE(Await(sim_, cluster_.Delete(0, 0, "a")).ok());
+  EXPECT_EQ(MemGauge(0), 36);
+  EXPECT_EQ(ObjectsGauge(0), 1);
+  ASSERT_TRUE(Await(sim_, cluster_.Delete(0, 0, "b")).ok());
+  EXPECT_EQ(MemGauge(0), 0);
+  EXPECT_EQ(ObjectsGauge(0), 0);
+}
+
+TEST_F(KvGaugeTest, WipeOnRestartZeroesGauges) {
+  ASSERT_TRUE(Await(sim_, cluster_.Set(0, 3, "k", Bytes::Synthetic(128, 1)))
+                  .ok());
+  EXPECT_EQ(MemGauge(3), 128);
+  cluster_.SetServerDown(3, true, /*wipe_on_restart=*/true);
+  // Still down: the stored bytes are only discarded at restart.
+  cluster_.SetServerDown(3, false, /*wipe_on_restart=*/true);
+  EXPECT_EQ(MemGauge(3), 0);
+  EXPECT_EQ(ObjectsGauge(3), 0);
+  EXPECT_EQ(cluster_.server(3).memory_used(), 0u);
+}
+
+TEST_F(KvGaugeTest, BatchedMutationsSyncGauges) {
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 4; ++i) {
+    items.push_back(BatchItem{"k" + std::to_string(i),
+                              Bytes::Synthetic(25, static_cast<unsigned>(i))});
+  }
+  auto results =
+      Await(sim_, cluster_.Batch(0, 1, BatchKind::kSet, std::move(items)));
+  for (const auto& r : results) EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(MemGauge(1), 100);
+  EXPECT_EQ(ObjectsGauge(1), 4);
+}
+
 }  // namespace
 }  // namespace memfs::kv

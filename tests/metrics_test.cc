@@ -177,6 +177,50 @@ TEST(MetricsRegistryTest, CountersAccumulateByName) {
   EXPECT_NE(os.str().find("fs.read_repairs"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, GaugesGoUpAndDownAndPersistByName) {
+  MetricsRegistry registry;
+  registry.Gauge("kv.queue/0") = 5;
+  registry.Gauge("kv.queue/0") -= 2;
+  registry.Gauge("kv.mem_bytes/1") += 300;
+  EXPECT_EQ(registry.GaugeValue("kv.queue/0"), 3);
+  EXPECT_EQ(registry.GaugeValue("kv.mem_bytes/1"), 300);
+  EXPECT_EQ(registry.GaugeValue("never.touched"), 0);
+  EXPECT_EQ(registry.gauges().size(), 2u);
+
+  // References stay valid as later names rebalance the map.
+  std::int64_t& queue = registry.Gauge("kv.queue/0");
+  for (int i = 0; i < 64; ++i) registry.Gauge("g" + std::to_string(i)) = i;
+  queue = -7;  // gauges may legitimately go negative on accounting bugs
+  EXPECT_EQ(registry.GaugeValue("kv.queue/0"), -7);
+}
+
+TEST(MetricsRegistryTest, GaugeHelpersIgnoreNullTargets) {
+  GaugeAdd(nullptr, 5);  // the uninstrumented path: one branch, no effect
+  GaugeSet(nullptr, 5);
+  MetricsRegistry registry;
+  std::int64_t* gauge = &registry.Gauge("g");
+  GaugeAdd(gauge, 5);
+  GaugeAdd(gauge, -2);
+  EXPECT_EQ(registry.GaugeValue("g"), 3);
+  GaugeSet(gauge, 11);
+  EXPECT_EQ(registry.GaugeValue("g"), 11);
+}
+
+TEST(MetricsRegistryTest, InstanceGaugeNameFormatsBaseSlashIndex) {
+  EXPECT_EQ(InstanceGaugeName("kv.mem_bytes", 0), "kv.mem_bytes/0");
+  EXPECT_EQ(InstanceGaugeName("io.queued", 17), "io.queued/17");
+}
+
+TEST(MetricsRegistryTest, NonzeroGaugesAppearInReport) {
+  MetricsRegistry registry;
+  registry.Gauge("fs.open_files/0") = 4;
+  registry.Gauge("silent") = 0;
+  std::ostringstream os;
+  registry.Report(os);
+  EXPECT_NE(os.str().find("fs.open_files/0"), std::string::npos);
+  EXPECT_EQ(os.str().find("silent"), std::string::npos);
+}
+
 // --- End-to-end recording through the stack ---
 
 TEST(MetricsIntegrationTest, MemFsAndKvOpsRecorded) {

@@ -1,0 +1,32 @@
+#!/bin/sh
+# tools/check.sh — the tier-1 verification gate plus a sanitizer pass.
+#
+#   1. configure + build the default (Release-ish) tree in build/,
+#   2. run the full ctest suite (unit tests, lint, determinism gates),
+#   3. configure + build with -DMEMFS_SANITIZE=address,undefined in
+#      build-asan/ and re-run the determinism gates under the sanitizers.
+#
+# Usage: tools/check.sh [jobs]   (default: nproc)
+#
+# Any failing step aborts the script with a nonzero exit.
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier 1: configure + build (${jobs} jobs) =="
+cmake -S "$root" -B "$root/build" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+
+echo "== tier 1: ctest =="
+ctest --test-dir "$root/build" --output-on-failure
+
+echo "== sanitizers: configure + build (address,undefined) =="
+cmake -S "$root" -B "$root/build-asan" \
+  -DMEMFS_SANITIZE=address,undefined >/dev/null
+cmake --build "$root/build-asan" -j "$jobs"
+
+echo "== sanitizers: determinism gates =="
+ctest --test-dir "$root/build-asan" -L determinism --output-on-failure
+
+echo "check.sh: all gates passed"

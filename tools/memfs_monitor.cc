@@ -1,0 +1,279 @@
+// memfs_monitor — continuous cluster monitoring for one simulated workload.
+//
+// Runs an MTC workflow on a simulated MemFS cluster with the time-series
+// monitor attached (src/monitor): every layer's gauges (per-server kv
+// memory/objects/queue depth, io lane occupancy, per-link utilization,
+// breaker state, open files, dirty buffers) are sampled into fixed-interval
+// windows, then:
+//   * prints the per-series summary (min/mean/max/last over all windows);
+//   * runs the symmetry auditor — per-window skew/CoV/chi-square across the
+//     per-server series families, the paper's load-balance claim as a
+//     timeline instead of an end-of-run average;
+//   * evaluates SLO rules (defaults below; add more with --slo) and reports
+//     every violation with the offending window;
+//   * optionally exports the full timeline (--out CSV, --json JSON) and one
+//     family's balance timeline (--balance).
+//
+//   memfs_monitor --nodes=8 --faults --out=timeline.csv
+//   memfs_monitor --workload=blast --balance=kv.mem_bytes --csv
+//
+// Monitoring never schedules events: same flags with or without the monitor
+// produce the same event digest (pinned by the monitor_determinism ctest).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/metrics.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "monitor/monitor.h"
+#include "monitor/probes.h"
+#include "monitor/slo.h"
+#include "monitor/symmetry.h"
+#include "mtc/runner.h"
+#include "mtc/scheduler.h"
+#include "sim/fault.h"
+#include "workloads/blast.h"
+#include "workloads/montage.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace memfs;  // NOLINT: binary-local brevity
+
+constexpr const char* kHelp = R"(memfs_monitor — cluster monitoring timeline
++ symmetry audit + SLO watchdog
+
+  --workload=montage|blast            what to run          [montage]
+  --nodes=N                           cluster size         [8]
+  --cores=N                           cores per node       [8]
+  --fabric=ipoib|gbe|ec2|rdma         network preset       [ipoib]
+  --degree=6|12|16                    mosaic size          [6]
+  --fragments=N                       BLAST db split       [512]
+  --task-scale=N                      divide task count    [64]
+  --size-scale=N                      divide file sizes    [16]
+  --replication=N                     stripe copies        [1]
+  --interval-us=N                     sampling window (us) [1000]
+  --retention=N                       windows retained     [65536]
+  --faults                            seeded fault episodes [off]
+  --fault-seed=N                      fault schedule seed  [7]
+  --slo=RULE[;RULE...]                extra SLO rules      [defaults only]
+  --no-default-slo                    drop the default rules
+  --balance=BASE                      balance timeline for one family
+  --out=FILE                          timeline CSV
+  --json=FILE                         timeline JSON
+  --violations=N                      violations listed per rule [10]
+  --csv                               CSV tables
+
+Default SLO rules:
+  skew(kv.mem_bytes) < 1.25 for 95% of windows
+  sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of windows
+)";
+
+workloads::Fabric ParseFabric(const std::string& name) {
+  if (name == "gbe") return workloads::Fabric::kDas4GbE;
+  if (name == "ec2") return workloads::Fabric::kEc2TenGbE;
+  if (name == "rdma") return workloads::Fabric::kRdma;
+  return workloads::Fabric::kDas4Ipoib;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("help")) {
+    std::cout << kHelp;
+    return 0;
+  }
+
+  const std::string workload = flags.GetString("workload", "montage");
+  const auto nodes = static_cast<std::uint32_t>(flags.GetUint("nodes", 8));
+  const auto cores = static_cast<std::uint32_t>(flags.GetUint("cores", 8));
+  const auto fabric = ParseFabric(flags.GetString("fabric", "ipoib"));
+  const auto task_scale =
+      static_cast<std::uint32_t>(flags.GetUint("task-scale", 64));
+  const auto size_scale = flags.GetUint("size-scale", 16);
+  const auto degree = static_cast<std::uint32_t>(flags.GetUint("degree", 6));
+  const auto fragments =
+      static_cast<std::uint32_t>(flags.GetUint("fragments", 512));
+  const auto replication =
+      static_cast<std::uint32_t>(flags.GetUint("replication", 1));
+  const auto interval_us = flags.GetUint("interval-us", 1000);
+  const auto retention =
+      static_cast<std::size_t>(flags.GetUint("retention", 1u << 16));
+  const bool faults = flags.GetBool("faults");
+  const auto fault_seed = flags.GetUint("fault-seed", 7);
+  const std::string slo_arg = flags.GetString("slo", "");
+  const bool no_default_slo = flags.GetBool("no-default-slo");
+  const std::string balance = flags.GetString("balance", "");
+  const std::string out = flags.GetString("out", "");
+  const std::string json = flags.GetString("json", "");
+  const auto violations =
+      static_cast<std::size_t>(flags.GetUint("violations", 10));
+  const bool csv = flags.GetBool("csv");
+
+  for (const auto& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag: --" << unknown << "\n" << kHelp;
+    return 2;
+  }
+
+  mtc::Workflow workflow;
+  if (workload == "blast") {
+    workloads::BlastParams params;
+    params.fragments = fragments;
+    params.task_scale = task_scale;
+    params.size_scale = size_scale;
+    workflow = workloads::BuildBlast(params);
+  } else if (workload == "montage") {
+    workloads::MontageParams params;
+    params.degree = degree;
+    params.task_scale = task_scale;
+    params.size_scale = size_scale;
+    workflow = workloads::BuildMontage(params);
+  } else {
+    std::cerr << "unknown workload: " << workload << "\n" << kHelp;
+    return 2;
+  }
+
+  MetricsRegistry metrics;
+  workloads::TestbedConfig config;
+  config.nodes = nodes;
+  config.fabric = fabric;
+  config.memfs.replication = replication;
+  if (faults) {
+    config.kv_policy.retry.max_attempts = 5;
+    config.kv_policy.op_deadline = units::Millis(20);
+  }
+  config.metrics = &metrics;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+
+  monitor::MonitorConfig monitor_config;
+  monitor_config.interval =
+      static_cast<sim::SimTime>(units::Micros(interval_us));
+  monitor_config.retention = retention;
+  monitor::Monitor mon(bed.simulation(), monitor_config);
+  mon.WatchRegistry(&metrics);
+  monitor::AttachNetworkProbes(mon, bed.network());
+
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (faults) {
+    kv::KvCluster* storage = bed.storage();
+    net::Network& network = bed.network();
+    sim::FaultHooks hooks;
+    hooks.set_server_down = [storage](std::uint32_t server, bool down,
+                                      bool wipe) {
+      storage->SetServerDown(server, down, wipe);
+    };
+    hooks.set_server_slowdown = [storage](std::uint32_t server,
+                                          double factor) {
+      storage->SetServerSlowdown(server, factor);
+    };
+    hooks.set_link_fault = [&network](std::uint32_t src, std::uint32_t dst,
+                                      double loss, sim::SimTime extra) {
+      network.SetLinkFault(src, dst, {loss, extra});
+    };
+    hooks.clear_link_fault = [&network](std::uint32_t src, std::uint32_t dst) {
+      network.ClearLinkFault(src, dst);
+    };
+    injector = std::make_unique<sim::FaultInjector>(bed.simulation(),
+                                                    std::move(hooks));
+    sim::FaultScheduleConfig schedule;
+    schedule.seed = fault_seed;
+    schedule.servers = nodes;
+    schedule.nodes = nodes;
+    schedule.horizon = units::Millis(48);
+    schedule.crashes = 2;
+    schedule.slow_episodes = 1;
+    schedule.link_faults = 1;
+    injector->ScheduleAll(sim::GenerateFaultSchedule(schedule));
+  }
+
+  mtc::UniformScheduler scheduler;
+  mtc::RunnerConfig runner_config;
+  runner_config.nodes = nodes;
+  runner_config.cores_per_node = cores;
+  runner_config.metrics = &metrics;
+  mtc::Runner runner(bed.simulation(), bed.vfs(), scheduler, runner_config);
+
+  const mtc::WorkflowResult result = runner.Run(workflow);
+  int exit_code = 0;
+  if (!result.status.ok()) {
+    // Keep reporting: the timeline up to the failure is exactly what a
+    // monitor is for on a faulted run (the default run survives; crashes
+    // with wipe can kill a workflow at replication 1).
+    std::cerr << "workflow failed: " << result.status.ToString()
+              << " — reporting the partial timeline\n";
+    exit_code = 1;
+  }
+  mon.Finish();
+
+  std::cout << "# " << workflow.name << " on " << nodes << " nodes, MemFS — "
+            << mon.windows().size() << " windows of "
+            << static_cast<double>(mon.interval()) / 1e3 << " us ("
+            << mon.dropped_windows() << " dropped), " << mon.series().size()
+            << " series\n";
+  mon.PrintSummary(std::cout, csv);
+
+  std::cout << "\n# symmetry audit (per-window balance across instances)\n";
+  monitor::SymmetryAuditor auditor(mon);
+  auditor.PrintSummary(std::cout, csv);
+
+  monitor::SloWatchdog watchdog(mon);
+  if (!no_default_slo) {
+    (void)watchdog.AddRule("skew(kv.mem_bytes) < 1.25 for 95% of windows");
+    (void)watchdog.AddRule(
+        "sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of windows");
+  }
+  std::istringstream extra(slo_arg);
+  std::string rule;
+  while (std::getline(extra, rule, ';')) {
+    if (rule.empty()) continue;
+    std::string error;
+    if (!watchdog.AddRule(rule, &error)) {
+      std::cerr << "bad --slo rule '" << rule << "': " << error << "\n";
+      return 2;
+    }
+  }
+  if (!watchdog.rules().empty()) {
+    std::cout << "\n# SLO watchdog\n";
+    const std::vector<monitor::SloResult> results = watchdog.Evaluate();
+    monitor::SloWatchdog::PrintResults(results, std::cout, csv,
+                                       /*verbose=*/true, violations);
+    for (const monitor::SloResult& r : results) {
+      if (!r.satisfied) exit_code = 3;
+    }
+  }
+
+  if (!balance.empty()) {
+    const monitor::SymmetryReport report = auditor.Audit(balance);
+    if (report.windows.empty()) {
+      std::cerr << "no balance windows for '" << balance
+                << "' (need >= 2 instances)\n";
+      return 2;
+    }
+    std::cout << "\n# balance timeline: " << balance << "\n";
+    monitor::SymmetryAuditor::WriteTimelineCsv(report, std::cout);
+  }
+
+  if (!out.empty()) {
+    std::ofstream file(out, std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot open " << out << " for writing\n";
+      return 1;
+    }
+    mon.WriteCsv(file);
+    std::cout << "\ntimeline CSV (" << mon.windows().size()
+              << " windows) written to " << out << "\n";
+  }
+  if (!json.empty()) {
+    std::ofstream file(json, std::ios::binary);
+    if (!file) {
+      std::cerr << "cannot open " << json << " for writing\n";
+      return 1;
+    }
+    mon.WriteJson(file);
+    std::cout << "timeline JSON written to " << json << "\n";
+  }
+  return exit_code;
+}
