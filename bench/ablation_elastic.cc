@@ -1,17 +1,34 @@
-// Ablation — elastic scale-out (§5's future work): growing the storage pool
-// at runtime with ring epochs.
+// Ablation — elastic membership: scale-OUT and scale-IN at runtime, with
+// live data rebalancing (kv::Membership + kv::Migrator) against the older
+// epoch-pinning scheme (MemFs::AddStorageServer ring epochs, no migration).
 //
-// The deployment starts with 8 of 12 provisioned nodes serving storage;
-// after each write wave another server joins. Epoch pinning means no data
-// ever migrates: old files keep reading from their original servers, new
-// files stripe across the enlarged set. The table tracks how the per-server
-// balance and the aggregate write bandwidth evolve, and compares ketama
-// against modulo for the placement of post-growth files.
+// Trace per arm: write a 24-file corpus, then grow the pool by one server
+// while another 24-file wave is in flight, then drain one of the original
+// servers under a third wave. For each transition the table reports the
+// makespan (BeginJoin/BeginDrain until the handoff commits), the bytes and
+// keys the migrator streamed, and the per-server balance skew (max/mean of
+// kv memory across live servers) after each phase. A final verify pass
+// re-reads every file.
+//
+// The contrast the table makes: epoch pinning grows instantly but leaves the
+// new server empty (skew ~N) and has NO scale-in story — decommissioning a
+// server strands every stripe pinned to it (reads trip UNAVAILABLE_PERMANENT)
+// — while the migrator pays a bounded, observable makespan to keep placement
+// symmetric and every file readable through both transitions.
+//
+// Machine-readable results are written to BENCH_elastic.json in the working
+// directory (override with --json=PATH).
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "common/stats.h"
-#include "mtc/workflow.h"
+#include "common/flags.h"
+#include "kvstore/membership.h"
+#include "kvstore/migrator.h"
 #include "sim/task.h"
 
 using namespace memfs;         // NOLINT
@@ -19,80 +36,285 @@ using namespace memfs::bench;  // NOLINT
 
 namespace {
 
-// Writes `files` of `size` sequentially from node 0 and returns the mean
-// per-file write bandwidth.
-double WriteWave(workloads::Testbed& bed, int wave, std::uint32_t files,
-                 std::uint64_t size) {
-  auto& sim = bed.simulation();
-  double sum_rate = 0.0;
-  for (std::uint32_t f = 0; f < files; ++f) {
-    const std::string path =
-        "/w" + std::to_string(wave) + "_" + std::to_string(f);
-    const sim::SimTime start = sim.now();
-    bool ok = false;
-    [](fs::Vfs& vfs, std::string p, std::uint64_t bytes, bool& flag)
-        -> sim::Task {
-      fs::VfsContext ctx{0, 0};
-      auto created = co_await vfs.Create(ctx, p);
-      if (!created.ok()) co_return;
-      (void)co_await vfs.Write(ctx, created.value(),
-                               Bytes::Synthetic(bytes, mtc::FileSeed(p)));
-      flag = (co_await vfs.Close(ctx, created.value())).ok();
-    }(bed.vfs(), path, size, ok);
-    sim.Run();
-    if (ok) sum_rate += units::MBps(size, sim.now() - start);
+constexpr std::uint32_t kServers = 8;      // initial storage pool
+constexpr std::uint32_t kWaveFiles = 24;   // files per write wave
+constexpr std::uint64_t kFileSize = units::MiB(1);
+constexpr std::uint32_t kJoinServer = kServers;  // standby node that joins
+constexpr std::uint32_t kDrainServer = 2;        // original server that leaves
+
+struct TransitionResult {
+  double makespan_ms = 0;       // BeginJoin/Drain -> handoff committed
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t keys_moved = 0;
+  double skew_after = 0;        // max/mean kv memory across live servers
+  std::uint32_t writes_ok = 0;  // wave completed during the transition
+};
+
+struct ArmResult {
+  double skew_corpus = 0;
+  TransitionResult scale_out;
+  TransitionResult scale_in;
+  std::uint32_t reads_intact = 0;
+  std::uint32_t reads_permanent = 0;  // UNAVAILABLE_PERMANENT (stranded data)
+  std::uint32_t reads_total = 0;
+};
+
+sim::Task WriteOne(sim::Simulation& sim, fs::Vfs& vfs, sim::SimTime start,
+                   std::uint32_t node, std::string path, std::uint64_t seed,
+                   std::uint8_t& ok) {
+  co_await sim.Delay(start);
+  fs::VfsContext ctx{node, 0};
+  auto created = co_await vfs.Create(ctx, path);
+  if (!created.ok()) co_return;
+  const Status wrote = co_await vfs.Write(ctx, created.value(),
+                                          Bytes::Synthetic(kFileSize, seed));
+  const Status closed = co_await vfs.Close(ctx, created.value());
+  ok = wrote.ok() && closed.ok();
+}
+
+// Re-reads one file; `verdict` becomes 1 when intact, 2 when the read failed
+// with the non-retryable "copy is gone" error, 0 otherwise.
+sim::Task VerifyOne(fs::Vfs& vfs, std::uint32_t node, std::string path,
+                    std::uint64_t seed, std::uint8_t& verdict) {
+  fs::VfsContext ctx{node, 0};
+  auto opened = co_await vfs.Open(ctx, path);
+  if (!opened.ok()) co_return;
+  Bytes out;
+  while (true) {
+    auto chunk =
+        co_await vfs.Read(ctx, opened.value(), out.size(), units::MiB(1));
+    if (!chunk.ok()) {
+      if (chunk.status().code() == ErrorCode::kUnavailablePermanent) {
+        verdict = 2;
+      }
+      (void)co_await vfs.Close(ctx, opened.value());
+      co_return;
+    }
+    if (chunk->empty()) break;
+    out.Append(*chunk);
   }
-  return sum_rate / static_cast<double>(files);
+  (void)co_await vfs.Close(ctx, opened.value());
+  if (out.ContentEquals(Bytes::Synthetic(kFileSize, seed))) verdict = 1;
+}
+
+// Drives one membership transition to completion and records its makespan.
+sim::Task RunTransition(sim::Simulation& sim, kv::Membership& membership,
+                        kv::Migrator& migrator, sim::SimTime start, bool join,
+                        double& makespan_ms) {
+  co_await sim.Delay(start);
+  const sim::SimTime begin = sim.now();
+  if (join) {
+    (void)membership.BeginJoin(kJoinServer);
+  } else {
+    membership.BeginDrain(kDrainServer);
+  }
+  for (int runs = 0; membership.migrating() && runs < 16; ++runs) {
+    (void)co_await migrator.Rebalance();
+  }
+  makespan_ms = static_cast<double>(sim.now() - begin) / 1e6;
+}
+
+double BalanceSkew(const kv::KvCluster& storage,
+                   const std::vector<std::uint8_t>& live) {
+  std::uint64_t max_used = 0;
+  std::uint64_t total = 0;
+  std::uint32_t count = 0;
+  for (std::uint32_t s = 0; s < storage.server_count(); ++s) {
+    if (s < live.size() && live[s] == 0) continue;
+    const std::uint64_t used = storage.server(s).memory_used();
+    max_used = std::max(max_used, used);
+    total += used;
+    ++count;
+  }
+  if (count == 0 || total == 0) return 0;
+  return static_cast<double>(max_used) /
+         (static_cast<double>(total) / static_cast<double>(count));
+}
+
+std::uint32_t LaunchWave(workloads::Testbed& bed, int wave,
+                         std::vector<std::uint8_t>& ok) {
+  ok.assign(kWaveFiles, 0);
+  for (std::uint32_t f = 0; f < kWaveFiles; ++f) {
+    WriteOne(bed.simulation(), bed.vfs(), units::Millis(1) * f, f % kServers,
+             "/w" + std::to_string(wave) + "_" + std::to_string(f),
+             1000 * static_cast<std::uint64_t>(wave) + f, ok[f]);
+  }
+  return kWaveFiles;
+}
+
+std::uint32_t CountOk(const std::vector<std::uint8_t>& ok) {
+  std::uint32_t n = 0;
+  for (std::uint8_t v : ok) n += v;
+  return n;
+}
+
+// One full trace. `migrate` selects the elastic-membership arm; otherwise
+// the legacy epoch-pinning arm (grow via ring epoch, "drain" by marking the
+// server permanently left — no data moves in either direction).
+ArmResult RunArm(bool migrate) {
+  workloads::TestbedConfig config;
+  config.nodes = kServers;
+  config.standby_nodes = 1;
+  config.memfs.use_ketama = true;
+  config.elastic = migrate;
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  sim::Simulation& sim = bed.simulation();
+
+  ArmResult result;
+  std::vector<std::uint8_t> live(kServers + 1, 1);
+  live[kJoinServer] = 0;  // standby: empty until it joins
+
+  // Phase 0 — corpus.
+  std::vector<std::uint8_t> wave_ok;
+  LaunchWave(bed, 0, wave_ok);
+  sim.Run();
+  result.skew_corpus = BalanceSkew(*bed.storage(), live);
+
+  // Phase 1 — scale-out while wave 1 is in flight.
+  LaunchWave(bed, 1, wave_ok);
+  if (migrate) {
+    RunTransition(sim, *bed.membership(), *bed.migrator(), units::Millis(4),
+                  /*join=*/true, result.scale_out.makespan_ms);
+  } else {
+    (void)bed.memfs()->AddStorageServer(kJoinServer);
+  }
+  sim.Run();
+  live[kJoinServer] = 1;
+  if (migrate) {
+    result.scale_out.bytes_moved = bed.migrator()->progress().bytes_moved;
+    result.scale_out.keys_moved = bed.migrator()->progress().keys_moved;
+  }
+  result.scale_out.skew_after = BalanceSkew(*bed.storage(), live);
+  result.scale_out.writes_ok = CountOk(wave_ok);
+
+  // Phase 2 — scale-in while wave 2 is in flight.
+  LaunchWave(bed, 2, wave_ok);
+  if (migrate) {
+    RunTransition(sim, *bed.membership(), *bed.migrator(), units::Millis(4),
+                  /*join=*/false, result.scale_in.makespan_ms);
+    sim.Run();
+    result.scale_in.bytes_moved =
+        bed.migrator()->progress().bytes_moved - result.scale_out.bytes_moved;
+    result.scale_in.keys_moved =
+        bed.migrator()->progress().keys_moved - result.scale_out.keys_moved;
+  } else {
+    // Epoch pinning has no migration path: decommissioning strands every
+    // stripe pinned to the departed server.
+    bed.storage()->SetServerLeft(kDrainServer);
+    sim.Run();
+  }
+  live[kDrainServer] = 0;
+  result.scale_in.skew_after = BalanceSkew(*bed.storage(), live);
+  result.scale_in.writes_ok = CountOk(wave_ok);
+
+  // Verify every file from every wave.
+  std::vector<std::uint8_t> verdicts(3 * kWaveFiles, 0);
+  for (int wave = 0; wave < 3; ++wave) {
+    for (std::uint32_t f = 0; f < kWaveFiles; ++f) {
+      VerifyOne(bed.vfs(), f % kServers,
+                "/w" + std::to_string(wave) + "_" + std::to_string(f),
+                1000 * static_cast<std::uint64_t>(wave) + f,
+                verdicts[static_cast<std::size_t>(wave) * kWaveFiles + f]);
+    }
+  }
+  sim.Run();
+  result.reads_total = 3 * kWaveFiles;
+  for (std::uint8_t v : verdicts) {
+    if (v == 1) ++result.reads_intact;
+    if (v == 2) ++result.reads_permanent;
+  }
+  return result;
+}
+
+void WriteTransitionJson(std::ostream& os, const char* name,
+                         const TransitionResult& t) {
+  os << "    \"" << name << "\": {\"makespan_ms\": " << t.makespan_ms
+     << ", \"bytes_moved\": " << t.bytes_moved
+     << ", \"keys_moved\": " << t.keys_moved
+     << ", \"skew_after\": " << t.skew_after
+     << ", \"writes_ok\": " << t.writes_ok
+     << ", \"writes_total\": " << kWaveFiles << "}";
+}
+
+void WriteArmJson(std::ostream& os, const char* name, const ArmResult& arm,
+                  bool last) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"skew_corpus\": " << arm.skew_corpus << ",\n";
+  WriteTransitionJson(os, "scale_out", arm.scale_out);
+  os << ",\n";
+  WriteTransitionJson(os, "scale_in", arm.scale_in);
+  os << ",\n    \"reads_intact\": " << arm.reads_intact
+     << ", \"reads_permanent_fail\": " << arm.reads_permanent
+     << ", \"reads_total\": " << arm.reads_total << "\n  }" << (last ? "" : ",")
+     << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = WantCsv(argc, argv);
+  FlagParser flags(argc, argv);
+  const bool csv = flags.GetBool("csv");
+  const std::string json_path =
+      flags.GetString("json", "BENCH_elastic.json");
 
-  std::cout << "# Ablation: elastic scale-out, 8 initial + up to 4 added "
-               "servers (ketama ring, 4 MiB files)\n";
-  Table table({"servers", "epoch", "write bw/file (MB/s)", "balance cv (all)",
-               "new-server share %"});
+  std::cout << "# Ablation: elastic scale-out AND scale-in under live traffic "
+               "(8 servers + 1 standby, 3 x 24 x 1 MiB waves, ketama)\n"
+            << "# arms: epoch-pin (ring epochs, no movement) vs migrate "
+               "(membership + live rebalancing)\n";
 
-  workloads::TestbedConfig config;
-  config.nodes = 8;
-  config.standby_nodes = 4;
-  config.memfs.use_ketama = true;
-  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  const ArmResult pin = RunArm(/*migrate=*/false);
+  const ArmResult mig = RunArm(/*migrate=*/true);
 
-  for (int wave = 0; wave < 5; ++wave) {
-    if (wave > 0) {
-      (void)bed.memfs()->AddStorageServer(
-          static_cast<net::NodeId>(7 + wave));
-    }
-    const double bw = WriteWave(bed, wave, 24, units::MiB(4));
-
-    const std::uint32_t servers = bed.storage()->server_count();
-    RunningStats balance;
-    std::uint64_t new_bytes = 0;
-    std::uint64_t total_bytes = 0;
-    for (std::uint32_t s = 0; s < servers; ++s) {
-      const auto used = bed.storage()->server(s).memory_used();
-      balance.Add(static_cast<double>(used));
-      total_bytes += used;
-      if (s >= 8) new_bytes += used;
-    }
-    table.AddRow({Table::Int(servers),
-                  Table::Int(bed.memfs()->current_epoch()), Table::Num(bw),
-                  Table::Num(balance.cv(), 3),
-                  Table::Num(total_bytes > 0
-                                 ? 100.0 * static_cast<double>(new_bytes) /
-                                       static_cast<double>(total_bytes)
-                                 : 0.0,
-                             1)});
-  }
+  Table table({"arm", "phase", "makespan (ms)", "MiB moved", "keys moved",
+               "skew after", "wave writes ok"});
+  const auto add = [&table](const char* arm, const char* phase,
+                            const TransitionResult& t) {
+    table.AddRow({arm, phase, Table::Num(t.makespan_ms, 2),
+                  Table::Num(static_cast<double>(t.bytes_moved) /
+                                 static_cast<double>(units::MiB(1)),
+                             1),
+                  Table::Int(t.keys_moved), Table::Num(t.skew_after, 3),
+                  Table::Int(t.writes_ok) + "/" + Table::Int(kWaveFiles)});
+  };
+  add("epoch-pin", "scale-out", pin.scale_out);
+  add("epoch-pin", "scale-in", pin.scale_in);
+  add("migrate", "scale-out", mig.scale_out);
+  add("migrate", "scale-in", mig.scale_in);
   table.Print(std::cout, csv);
-  std::cout << "\nReading: each added server immediately absorbs a share of "
-               "the NEW writes (epoch ring covers it) without touching old "
-               "data; cumulative balance converges as post-growth data "
-               "accumulates. Single-writer bandwidth is latency-bound and "
-               "roughly constant — scale-out adds capacity, not per-stream "
-               "speed.\n";
+
+  Table verify({"arm", "reads intact", "permanent fails", "corpus skew"});
+  verify.AddRow({"epoch-pin",
+                 Table::Int(pin.reads_intact) + "/" +
+                     Table::Int(pin.reads_total),
+                 Table::Int(pin.reads_permanent),
+                 Table::Num(pin.skew_corpus, 3)});
+  verify.AddRow({"migrate",
+                 Table::Int(mig.reads_intact) + "/" +
+                     Table::Int(mig.reads_total),
+                 Table::Int(mig.reads_permanent),
+                 Table::Num(mig.skew_corpus, 3)});
+  std::cout << "\n# End-of-trace verification (every file, every wave)\n";
+  verify.Print(std::cout, csv);
+
+  std::ofstream json(json_path, std::ios::binary);
+  if (json) {
+    json << "{\n  \"bench\": \"ablation_elastic\",\n"
+         << "  \"servers\": " << kServers << ", \"standby\": 1,\n"
+         << "  \"waves\": 3, \"files_per_wave\": " << kWaveFiles
+         << ", \"file_bytes\": " << kFileSize << ",\n";
+    WriteArmJson(json, "epoch_pin", pin, /*last=*/false);
+    WriteArmJson(json, "migrate", mig, /*last=*/true);
+    json << "}\n";
+    std::cout << "\nresults written to " << json_path << "\n";
+  } else {
+    std::cerr << "cannot open " << json_path << " for writing\n";
+  }
+
+  std::cout << "\nReading: epoch pinning grows for free but the new server "
+               "only absorbs NEW writes, and decommissioning strands every "
+               "stripe pinned to the departed server (permanent read "
+               "failures). The migrator pays a bounded makespan per "
+               "transition, keeps skew near 1 and every file readable "
+               "through both scale-out and scale-in.\n";
   return 0;
 }

@@ -12,7 +12,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "kvstore/membership.h"
+#include "kvstore/migrator.h"
 #include "sim/fault.h"
+#include "sim/task.h"
 
 using namespace memfs;         // NOLINT
 using namespace memfs::bench;  // NOLINT
@@ -155,6 +158,80 @@ ChaosResult RunChaos(const std::vector<sim::FaultEvent>& schedule) {
   return result;
 }
 
+// --- Migration chaos: crash one end of a live handoff ---------------------
+
+struct MigrationChaosRow {
+  std::uint32_t writes_ok = 0;
+  std::uint32_t reads_intact = 0;
+  bool converged = false;
+  std::uint64_t failed_chunks = 0;
+  std::uint64_t keys_moved = 0;
+  double makespan_ms = 0;
+};
+
+sim::Task RunMigrationDriver(sim::Simulation& sim, kv::Membership& membership,
+                             kv::Migrator& migrator, bool& converged,
+                             double& makespan_ms) {
+  co_await sim.Delay(units::Millis(4));
+  const sim::SimTime begin = sim.now();
+  (void)membership.BeginJoin(/*node=*/kNodes);
+  for (int runs = 0; membership.migrating() && runs < 32; ++runs) {
+    (void)co_await migrator.Rebalance();
+    co_await sim.Delay(units::Millis(1));
+  }
+  converged = !membership.migrating();
+  makespan_ms = static_cast<double>(sim.now() - begin) / 1e6;
+}
+
+// A standby node joins mid-workload; `victim` (a migration source, or the
+// joining destination itself when victim == kNodes) crashes at 5 ms — right
+// after the first handoff sweep begins — and restarts at 13 ms with data
+// intact. The resumed sweeps must be idempotent over whatever the crashed
+// attempt already copied.
+MigrationChaosRow RunMigrationChaos(std::uint32_t victim) {
+  workloads::TestbedConfig config;
+  config.nodes = kNodes;
+  config.standby_nodes = 1;
+  config.elastic = true;
+  config.memfs.replication = 2;
+  config.memfs.use_ketama = true;
+  config.kv_policy.retry.max_attempts = 5;
+  config.kv_policy.op_deadline = units::Millis(20);
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  sim::Simulation& sim = bed.simulation();
+
+  std::vector<std::uint8_t> write_ok(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    RunChaosWrite(sim, bed.vfs(), units::Millis(1) * i, i % kNodes,
+                  "/mig_" + std::to_string(i), 3000 + i, write_ok[i]);
+  }
+  MigrationChaosRow row;
+  RunMigrationDriver(sim, *bed.membership(), *bed.migrator(), row.converged,
+                     row.makespan_ms);
+  kv::KvCluster& storage = *bed.storage();
+  sim.Schedule(units::Millis(5), [&storage, victim] {
+    storage.SetServerDown(victim, true, /*wipe_on_restart=*/false);
+  });
+  sim.Schedule(units::Millis(13), [&storage, victim] {
+    storage.SetServerDown(victim, false);
+  });
+  sim.Run();
+
+  std::vector<std::uint8_t> intact(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    RunChaosVerify(bed.vfs(), i % kNodes, "/mig_" + std::to_string(i),
+                   3000 + i, intact[i]);
+  }
+  sim.Run();
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    row.writes_ok += write_ok[i];
+    row.reads_intact += intact[i];
+  }
+  row.failed_chunks = bed.migrator()->progress().failed_chunks;
+  row.keys_moved = bed.migrator()->progress().keys_moved;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,5 +289,27 @@ int main(int argc, char** argv) {
 
   std::cout << "\n# Fault handling and recovery activity\n";
   recovery.Print(std::cout, csv);
+
+  std::cout << "\n# Migration chaos: standby joins mid-workload, one end of "
+               "the handoff crashes at 5 ms and restarts at 13 ms\n";
+  Table migration({"victim", "writes ok", "reads intact", "converged",
+                   "failed chunks", "keys moved", "join makespan (ms)"});
+  struct Victim {
+    const char* name;
+    std::uint32_t server;
+  };
+  const std::vector<Victim> victims = {{"source (server 0)", 0},
+                                       {"destination (joiner)", kNodes}};
+  for (const Victim& victim : victims) {
+    const MigrationChaosRow row = RunMigrationChaos(victim.server);
+    migration.AddRow({victim.name,
+                      Table::Int(row.writes_ok) + "/" + Table::Int(kFiles),
+                      Table::Int(row.reads_intact) + "/" + Table::Int(kFiles),
+                      row.converged ? "yes" : "NO",
+                      Table::Int(row.failed_chunks),
+                      Table::Int(row.keys_moved),
+                      Table::Num(row.makespan_ms, 2)});
+  }
+  migration.Print(std::cout, csv);
   return 0;
 }

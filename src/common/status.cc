@@ -18,6 +18,7 @@ std::string_view ToString(ErrorCode code) {
     case ErrorCode::kBadHandle: return "BAD_HANDLE";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnavailablePermanent: return "UNAVAILABLE_PERMANENT";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,10 @@ enum class ErrorCode : std::uint8_t {
   kBadHandle,       // EBADF
   kDeadlineExceeded, // ETIMEDOUT (per-op deadline elapsed; server slow/lossy)
   kInternal,
+  // The server has permanently left the cluster (drained to LEFT): no retry,
+  // failover pass or breaker half-open will ever get an answer from it. A
+  // definitive "this copy is gone", unlike the transient kUnavailable.
+  kUnavailablePermanent,
 };
 
 // Transient failures worth retrying: the server may answer on a later
@@ -135,6 +139,9 @@ inline Status DeadlineExceeded(std::string msg = {}) {
 }
 inline Status Internal(std::string msg = {}) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status UnavailablePermanent(std::string msg = {}) {
+  return {ErrorCode::kUnavailablePermanent, std::move(msg)};
 }
 }  // namespace status
 

@@ -42,6 +42,50 @@ class ModuloDistributor final : public Distributor {
   HashKind kind_;
 };
 
+// Consistent-hashing ring over an explicit member set (elastic membership
+// extension). Each member id seeds the same vnode labels as the classic
+// KetamaDistributor — vnode positions depend only on the member's identity,
+// never on who else is on the ring — which is exactly the minimal-movement
+// property: adding or removing one member remaps ~1/N of the keys and leaves
+// every other placement untouched. KetamaDistributor delegates to a ring
+// over {0..N-1}, so the two agree bit-for-bit on a full server set.
+class KetamaRing {
+ public:
+  explicit KetamaRing(std::vector<std::uint32_t> members,
+                      std::uint32_t vnodes_per_server = 160,
+                      HashKind kind = HashKind::kFnv1a64);
+
+  // Member owning `key` (the first vnode clockwise from the key's point).
+  std::uint32_t ServerFor(std::string_view key) const;
+
+  // Rank of the owner within the sorted member list; replica chains walk the
+  // member list from this rank so that a ring over {0..N-1} reproduces the
+  // legacy "(owner + r) % N" placement exactly.
+  std::uint32_t OwnerRank(std::string_view key) const;
+
+  // The `replicas` members holding copies of `key`: members[(rank + r) % M].
+  std::vector<std::uint32_t> ReplicaChain(std::string_view key,
+                                          std::uint32_t replicas) const;
+
+  const std::vector<std::uint32_t>& members() const { return members_; }
+  std::uint32_t member_count() const {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  bool Contains(std::uint32_t server) const;
+  std::uint32_t vnodes_per_server() const { return vnodes_; }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t server;
+  };
+
+  std::vector<std::uint32_t> members_;  // sorted, unique
+  std::uint32_t vnodes_;
+  HashKind kind_;
+  std::vector<Point> ring_;  // sorted by position
+};
+
 // Consistent hashing on a 64-bit ring with virtual nodes (ketama-style).
 // Adding or removing one server remaps ~1/N of the keys instead of nearly
 // all of them.
@@ -51,21 +95,13 @@ class KetamaDistributor final : public Distributor {
                     HashKind kind = HashKind::kFnv1a64);
 
   std::uint32_t ServerFor(std::string_view key) const override;
-  std::uint32_t server_count() const override { return servers_; }
+  std::uint32_t server_count() const override { return ring_.member_count(); }
   std::string_view name() const override { return "ketama"; }
 
-  std::uint32_t vnodes_per_server() const { return vnodes_; }
+  std::uint32_t vnodes_per_server() const { return ring_.vnodes_per_server(); }
 
  private:
-  struct Point {
-    std::uint64_t position;
-    std::uint32_t server;
-  };
-
-  std::uint32_t servers_;
-  std::uint32_t vnodes_;
-  HashKind kind_;
-  std::vector<Point> ring_;  // sorted by position
+  KetamaRing ring_;  // over members {0..servers-1}
 };
 
 std::unique_ptr<Distributor> MakeModulo(std::uint32_t servers,

@@ -428,6 +428,14 @@ sim::Task KvCluster::RunWithRetry(
   T result = ErrorResult<T>(status::Unavailable("no attempt made"));
   std::uint32_t attempts = 0;
   while (true) {
+    if (slot.left) {
+      // The server drained out of the cluster for good: answer immediately
+      // with a non-retryable verdict so callers fail over (or surface the
+      // loss) instead of burning the failure timeout per attempt.
+      trace::Event(op_span, "server_left");
+      result = ErrorResult<T>(status::UnavailablePermanent("server left"));
+      break;
+    }
     const bool allowed = slot.breaker.AllowRequest(sim_.now());
     GaugeSet(slot.breaker_gauge,
              static_cast<std::int64_t>(slot.breaker.state()));
@@ -499,6 +507,14 @@ sim::Task KvCluster::RunBatchWithRetry(
   RetryState retry(policy_.retry, sim_.now());
   std::uint32_t attempts = 0;
   while (!active.empty()) {
+    if (slot.left) {
+      trace::Event(op_span, "server_left");
+      for (std::size_t index : active) {
+        outcomes[index] =
+            BatchItemResult{status::UnavailablePermanent("server left"), {}};
+      }
+      break;
+    }
     const bool allowed = slot.breaker.AllowRequest(sim_.now());
     GaugeSet(slot.breaker_gauge,
              static_cast<std::int64_t>(slot.breaker.state()));
@@ -737,6 +753,18 @@ void KvCluster::SetServerDown(std::uint32_t index, bool down,
 
 bool KvCluster::IsServerDown(std::uint32_t index) const {
   return servers_[index].down;
+}
+
+void KvCluster::SetServerLeft(std::uint32_t index) {
+  auto& slot = servers_[index];
+  slot.left = true;
+  slot.state->Clear();
+  GaugeSet(slot.mem_gauge, 0);
+  GaugeSet(slot.objects_gauge, 0);
+}
+
+bool KvCluster::IsServerLeft(std::uint32_t index) const {
+  return servers_[index].left;
 }
 
 void KvCluster::SetServerSlowdown(std::uint32_t index, double factor) {

@@ -207,6 +207,14 @@ class KvCluster {
                      bool wipe_on_restart = false);
   bool IsServerDown(std::uint32_t index) const;
 
+  // Permanent departure (drained node reaching LEFT): the slot's data is
+  // dropped and every future request to it fast-fails with
+  // UNAVAILABLE_PERMANENT — no retries, no breaker probes, no failure
+  // timeout. Unlike SetServerDown this is one-way: the index is retired and
+  // never reused (indices are identities on the ketama ring).
+  void SetServerLeft(std::uint32_t index);
+  bool IsServerLeft(std::uint32_t index) const;
+
   // Slow-server episode: multiplies every service time on the server
   // (1.0 = healthy). With an op deadline armed, a slow-enough server times
   // out exactly like a dead one — but keeps consuming worker slots.
@@ -228,6 +236,7 @@ class KvCluster {
     std::unique_ptr<KvServer> state;
     std::unique_ptr<sim::Semaphore> workers;
     bool down = false;
+    bool left = false;  // drained to LEFT: fast-fail, never retried
     double slow_factor = 1.0;
     CircuitBreaker breaker;
     KvServerClientStats client_stats;

@@ -1,5 +1,6 @@
 #include "kvstore/kv_server.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace memfs::kv {
@@ -142,6 +143,21 @@ std::vector<BatchItemResult> KvServer::MultiDelete(
 
 bool KvServer::Exists(std::string_view key) const {
   return store_.contains(key);
+}
+
+std::vector<std::string> KvServer::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(store_.size());
+  // lint: allow(nondeterminism) hash-map iteration feeds a sort below, so
+  // the returned enumeration is order-independent.
+  for (const auto& [key, value] : store_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::uint64_t KvServer::ValueSize(std::string_view key) const {
+  auto it = store_.find(key);
+  return it == store_.end() ? 0 : it->second.StoredSize();
 }
 
 void KvServer::Clear() {

@@ -100,6 +100,15 @@ class KvServer {
 
   bool Exists(std::string_view key) const;
 
+  // Snapshot of all stored keys, sorted (a deterministic enumeration for the
+  // rebalancing migrator's sweeps; Memcached exposes the same ability via
+  // the cachedump/lru_crawler interface).
+  [[nodiscard]] std::vector<std::string> Keys() const;
+
+  // Stored size of `key`'s value, or 0 when absent — control-plane peek used
+  // by drain planning; does not count as a GET in stats.
+  std::uint64_t ValueSize(std::string_view key) const;
+
   std::uint64_t memory_used() const { return memory_used_; }
   std::uint64_t memory_limit() const { return config_.memory_limit; }
   std::size_t object_count() const { return store_.size(); }

@@ -52,9 +52,44 @@ std::unique_ptr<hash::Distributor> MemFs::MakeDistributor(
 }
 
 std::uint32_t MemFs::AddStorageServer(net::NodeId kv_node) {
+  assert(membership_ == nullptr &&
+         "epoch pinning and elastic membership do not mix");
   (void)storage_.AddServer(kv_node);
   epochs_.push_back(MakeDistributor(storage_.server_count()));
   return current_epoch();
+}
+
+void MemFs::AttachMembership(kv::Membership* membership) {
+  assert(membership == nullptr ||
+         (config_.use_ketama && epochs_.size() == 1 &&
+          membership->config().replication == config_.replication &&
+          membership->member_count() == storage_.server_count()));
+  membership_ = membership;
+}
+
+std::vector<std::uint32_t> MemFs::LegacyChain(std::uint32_t epoch,
+                                              std::string_view key) const {
+  const std::uint32_t replicas = ReplicaCount(epoch);
+  std::vector<std::uint32_t> chain;
+  chain.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    chain.push_back(ReplicaServer(epoch, key, r));
+  }
+  return chain;
+}
+
+std::vector<std::uint32_t> MemFs::GetChain(std::uint32_t epoch,
+                                           std::string_view key) const {
+  if (membership_ != nullptr) return membership_->ReadChain(key);
+  return LegacyChain(epoch, key);
+}
+
+kv::Membership::WriteRoute MemFs::WriteRouteFor(std::uint32_t epoch,
+                                                std::string_view key) const {
+  if (membership_ != nullptr) return membership_->RouteWrite(key);
+  kv::Membership::WriteRoute route;
+  route.primary = LegacyChain(epoch, key);
+  return route;
 }
 
 // ---------------------------------------------------------------------------
@@ -77,19 +112,27 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
                                        bool append,
                                        sim::Promise<Status> done,
                                        trace::TraceContext trace) {
-  const std::uint32_t replicas = ReplicaCount(epoch);
-  if (replicas == 1) {
+  // Elastic handoff window: serialize against the migrator so a concurrent
+  // copy can never install a value older than this write. The route is
+  // computed only after the gate admits us — the handoff may have committed
+  // while we waited, flipping the key onto the new ring.
+  const bool gated =
+      membership_ != nullptr && membership_->ShouldGate(key);
+  if (gated) co_await membership_->gate().EnterWriter(key);
+  const kv::Membership::WriteRoute route = WriteRouteFor(epoch, key);
+  if (route.primary.size() == 1 && route.secondary.empty()) {
     // Single copy: no replica layer to show — the kv op span hangs directly
     // off the caller's span.
-    const std::uint32_t server = ReplicaServer(epoch, key, 0);
+    const std::uint32_t server = route.primary.front();
     Status status;
     if (append) {
-      status = co_await sched_.Append(node, server, std::move(key),
-                                      std::move(value), trace);
+      status = co_await sched_.Append(node, server, key, std::move(value),
+                                      trace);
     } else {
-      status = co_await sched_.Set(node, server, std::move(key),
-                                   std::move(value), trace);
+      status = co_await sched_.Set(node, server, key, std::move(value),
+                                   trace);
     }
+    if (gated) membership_->gate().ExitWriter(key);
     done.Set(std::move(status));
     co_return;
   }
@@ -102,11 +145,20 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
   // tolerates unreachable replicas as long as one copy lands; read repair
   // reinstalls the skipped copies once their server is back.
   std::vector<sim::Future<Status>> futures;
-  futures.reserve(replicas);
-  for (std::uint32_t r = 0; r < replicas; ++r) {
-    const std::uint32_t server = ReplicaServer(epoch, key, r);
+  futures.reserve(route.primary.size());
+  for (std::uint32_t server : route.primary) {
     futures.push_back(append ? sched_.Append(node, server, key, value, tctx)
                              : sched_.Set(node, server, key, value, tctx));
+  }
+  // Dual-commit onto the key's next home while its handoff is pending:
+  // best-effort, verdicts ignored — the old chain stays authoritative until
+  // the migrator commits, and the migrator re-copies anything these miss.
+  std::vector<sim::Future<Status>> shadow;
+  shadow.reserve(route.secondary.size());
+  for (std::uint32_t server : route.secondary) {
+    trace::Event(tctx, "dual_commit");
+    shadow.push_back(append ? sched_.Append(node, server, key, value, tctx)
+                            : sched_.Set(node, server, key, value, tctx));
   }
   std::uint32_t acks = 0;
   Status first_error;
@@ -120,7 +172,12 @@ sim::Task MemFs::RunReplicatedMutation(std::uint32_t epoch, net::NodeId node,
       if (!IsRetryable(status.code())) all_errors_retryable = false;
     }
   }
-  if (acks == replicas) {
+  for (auto& future : shadow) {
+    // lint: allow(ignored-status) best-effort dual-commit; migrator re-copies
+    (void)co_await future;
+  }
+  if (gated) membership_->gate().ExitWriter(key);
+  if (acks == route.primary.size()) {
     done.Set(Status::Ok());
     co_return;
   }
@@ -164,10 +221,16 @@ sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
                                   std::string key, Bytes value,
                                   sim::Promise<Status> done,
                                   trace::TraceContext trace) {
-  const std::uint32_t replicas = ReplicaCount(epoch);
+  const bool gated =
+      membership_ != nullptr && membership_->ShouldGate(key);
+  if (gated) co_await membership_->gate().EnterWriter(key);
+  const kv::Membership::WriteRoute route = WriteRouteFor(epoch, key);
   // Strict mode keeps the original semantics: the record's home server alone
   // arbitrates ADD.
-  const std::uint32_t tries = config_.degraded_writes ? replicas : 1;
+  const std::uint32_t tries =
+      config_.degraded_writes
+          ? static_cast<std::uint32_t>(route.primary.size())
+          : 1;
   trace::ScopedSpan span;
   trace::TraceContext tctx = trace;
   if (tries > 1) {
@@ -176,8 +239,7 @@ sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
   }
   Status last = status::Unavailable("no replicas");
   for (std::uint32_t r = 0; r < tries; ++r) {
-    last = co_await sched_.Add(node, ReplicaServer(epoch, key, r), key,
-                               value, tctx);
+    last = co_await sched_.Add(node, route.primary[r], key, value, tctx);
     if (last.ok()) {
       if (r > 0) {
         trace::Event(tctx, "write_failover");
@@ -192,6 +254,17 @@ sim::Task MemFs::RunReplicatedAdd(std::uint32_t epoch, net::NodeId node,
     // errors justify moving down the chain.
     if (!IsRetryable(last.code())) break;
   }
+  if (last.ok()) {
+    // Shadow the accepted record onto the key's next home while a handoff is
+    // pending; the old chain's verdict already stands.
+    for (std::uint32_t server : route.secondary) {
+      trace::Event(tctx, "dual_commit");
+      // lint: allow(ignored-status) best-effort dual-commit; migrator
+      // re-copies
+      (void)co_await sched_.Add(node, server, key, value, tctx);
+    }
+  }
+  if (gated) membership_->gate().ExitWriter(key);
   done.Set(std::move(last));
 }
 
@@ -209,18 +282,26 @@ sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                      std::string key,
                                      sim::Promise<Status> done,
                                      trace::TraceContext trace) {
-  const std::uint32_t replicas = ReplicaCount(epoch);
+  const bool gated =
+      membership_ != nullptr && membership_->ShouldGate(key);
+  if (gated) co_await membership_->gate().EnterWriter(key);
+  const kv::Membership::WriteRoute route = WriteRouteFor(epoch, key);
   trace::ScopedSpan span;
   trace::TraceContext tctx = trace;
-  if (replicas > 1) {
+  if (route.primary.size() + route.secondary.size() > 1) {
     span = trace::ScopedSpan(trace, "replica.delete", "replica");
     tctx = span.context();
   }
   std::vector<sim::Future<Status>> futures;
-  futures.reserve(replicas);
-  for (std::uint32_t r = 0; r < replicas; ++r) {
-    futures.push_back(
-        sched_.Delete(node, ReplicaServer(epoch, key, r), key, tctx));
+  futures.reserve(route.primary.size() + route.secondary.size());
+  for (std::uint32_t server : route.primary) {
+    futures.push_back(sched_.Delete(node, server, key, tctx));
+  }
+  // Also clear any dual-committed shadow copies so a committed handoff does
+  // not resurrect the key.
+  for (std::uint32_t server : route.secondary) {
+    trace::Event(tctx, "dual_commit");
+    futures.push_back(sched_.Delete(node, server, key, tctx));
   }
   Status result;
   for (auto& future : futures) {
@@ -229,6 +310,7 @@ sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
     // delete; the primary's answer decides.
     if (&future == &futures.front()) result = std::move(status);
   }
+  if (gated) membership_->gate().ExitWriter(key);
   done.Set(std::move(result));
 }
 
@@ -246,21 +328,26 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
                                 std::string key,
                                 sim::Promise<Result<Bytes>> done,
                                 trace::TraceContext trace) {
-  const std::uint32_t replicas = ReplicaCount(epoch);
   const std::uint32_t passes =
       std::max<std::uint32_t>(config_.read_chain_attempts, 1);
   trace::ScopedSpan span;
   trace::TraceContext tctx = trace;
-  if (replicas > 1) {
+  if (GetChain(epoch, key).size() > 1) {
     span = trace::ScopedSpan(trace, "replica.get", "replica");
     tctx = span.context();
   }
   Status unreachable;
-  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+  bool retried_absent = false;
+  std::uint32_t pass = 0;
+  while (true) {
+    // Recompute per pass: during an elastic handoff the chain covers both the
+    // old and the new home, and a commit between passes may shrink it.
+    const std::vector<std::uint32_t> chain = GetChain(epoch, key);
     std::uint32_t not_found = 0;
+    std::uint32_t permanent = 0;  // replicas gone for good (drained to LEFT)
     std::vector<std::uint32_t> missing;  // reachable replicas lacking the key
-    for (std::uint32_t r = 0; r < replicas; ++r) {
-      const std::uint32_t server = ReplicaServer(epoch, key, r);
+    for (std::size_t r = 0; r < chain.size(); ++r) {
+      const std::uint32_t server = chain[r];
       Result<Bytes> got = co_await sched_.Get(node, server, key, tctx);
       if (got.ok()) {
         if (r > 0) {
@@ -271,9 +358,14 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
           }
           // Read repair: a replica that answered NOT_FOUND is reachable but
           // lost its copy (wipe-on-restart); reinstall it in the background.
-          for (std::uint32_t target : missing) {
-            trace::Event(tctx, "read_repair");
-            RunReadRepair(node, target, key, got.value());
+          // Skipped while the key's handoff is pending — an un-gated repair
+          // could land a stale value on the new home, which the migrator
+          // would then mistake for a finished copy.
+          if (membership_ == nullptr || !membership_->ShouldGate(key)) {
+            for (std::uint32_t target : missing) {
+              trace::Event(tctx, "read_repair");
+              RunReadRepair(node, target, key, got.value());
+            }
           }
         }
         done.Set(std::move(got));
@@ -282,23 +374,41 @@ sim::Task MemFs::RunFailoverGet(std::uint32_t epoch, net::NodeId node,
       if (got.status().code() == ErrorCode::kNotFound) {
         ++not_found;
         missing.push_back(server);
+      } else if (got.status().code() == ErrorCode::kUnavailablePermanent) {
+        ++permanent;
       } else {
         unreachable = got.status();
       }
     }
-    if (not_found == replicas) {
-      // Every replica answered and none holds the key: definitively absent.
+    if (not_found + permanent == chain.size()) {
+      if (permanent > 0) {
+        // Some copy was on a server that drained and LEFT; no amount of
+        // retrying brings it back.
+        done.Set(Result<Bytes>(status::UnavailablePermanent(
+            "replica chain left the cluster: " + key)));
+        co_return;
+      }
+      // Every replica answered and none holds the key. Mid-handoff that can
+      // be a race (probed the new home before the copy, the old after the
+      // cleanup); give the window one extra settled look before believing it.
+      if (membership_ != nullptr && membership_->migrating() &&
+          !retried_absent) {
+        retried_absent = true;
+        trace::Event(tctx, "handoff_race_retry");
+        trace::ScopedSpan wait(tctx, "chain_backoff", "retry");
+        co_await sim_.Delay(storage_.cost_model().failure_timeout);
+        continue;  // does not consume a pass
+      }
       done.Set(Result<Bytes>(status::NotFound(key)));
       co_return;
     }
     // Some replica was unreachable and may hold the only copy; run the chain
     // again after an escalating delay (it may be restarting, or its breaker
     // may be about to half-open).
-    if (pass + 1 < passes) {
-      trace::Event(tctx, "pass_retry");
-      trace::ScopedSpan wait(tctx, "chain_backoff", "retry");
-      co_await sim_.Delay(storage_.cost_model().failure_timeout * (pass + 1));
-    }
+    if (++pass >= passes) break;
+    trace::Event(tctx, "pass_retry");
+    trace::ScopedSpan wait(tctx, "chain_backoff", "retry");
+    co_await sim_.Delay(storage_.cost_model().failure_timeout * pass);
   }
   done.Set(Result<Bytes>(
       unreachable.ok() ? status::Unavailable("all replicas unreachable: " + key)
@@ -752,7 +862,11 @@ sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
       auto& order = file->cache_order;
       order.erase(std::remove(order.begin(), order.end(), spans[i].stripe),
                   order.end());
-      done.Set(IsRetryable(stripe.status().code())
+      // UNAVAILABLE_PERMANENT passes through untranslated: a drained server
+      // took the only copy with it, and the caller must not retry.
+      done.Set(IsRetryable(stripe.status().code()) ||
+                       stripe.status().code() ==
+                           ErrorCode::kUnavailablePermanent
                    ? stripe.status()
                    : status::Internal("missing stripe " +
                                       std::to_string(spans[i].stripe) +
@@ -857,10 +971,15 @@ sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
     co_return;
   }
   // Secondary replicas of the directory record (appends go to all; a replica
-  // that is down stays empty until read repair finds it).
-  for (std::uint32_t r = 1; r < ReplicaCount(0); ++r) {
-    co_await sched_.Set(ctx.node, ReplicaServer(0, path, r), path,
+  // that is down stays empty until read repair finds it). The header is a
+  // constant, so installing it on a mid-handoff shadow home is harmless.
+  const kv::Membership::WriteRoute mkdir_route = WriteRouteFor(0, path);
+  for (std::size_t r = 1; r < mkdir_route.primary.size(); ++r) {
+    co_await sched_.Set(ctx.node, mkdir_route.primary[r], path,
                         meta::DirHeader(), tctx);
+  }
+  for (std::uint32_t server : mkdir_route.secondary) {
+    co_await sched_.Set(ctx.node, server, path, meta::DirHeader(), tctx);
   }
   const std::string parent = path::Parent(path);
   Status linked = co_await ReplicatedAppend(

@@ -33,6 +33,7 @@
 #include "hash/distributor.h"
 #include "io/op_scheduler.h"
 #include "kvstore/kv_cluster.h"
+#include "kvstore/membership.h"
 #include "memfs/fuse.h"
 #include "memfs/metadata.h"
 #include "memfs/striper.h"
@@ -160,6 +161,18 @@ class MemFs final : public Vfs {
     return static_cast<std::uint32_t>(epochs_.size() - 1);
   }
 
+  // Elastic membership (the alternative to epoch pinning): routes every
+  // placement decision through `membership`'s live ketama ring instead of
+  // the frozen per-epoch distributors. While a join/drain transition is
+  // open, writes to moving keys are serialized against the migrator's
+  // handoff (dual-committed to old and new homes) and reads double-read
+  // both rings, so rebalancing is invisible to the application. Requires
+  // use_ketama, a matching replication factor, and must be attached before
+  // any traffic; do not combine with AddStorageServer. Pass nullptr to
+  // detach. The membership must outlive the file system.
+  void AttachMembership(kv::Membership* membership);
+  kv::Membership* membership() const { return membership_; }
+
  private:
   struct OpenFile {
     std::string path;
@@ -194,6 +207,22 @@ class MemFs final : public Vfs {
   std::uint32_t ReplicaCount(std::uint32_t epoch) const;
   std::uint32_t ReplicaServer(std::uint32_t epoch, std::string_view key,
                               std::uint32_t replica) const;
+
+  // The consecutive replica chain of `key` on the frozen epoch ring (the
+  // pre-elastic placement rule, kept byte-identical).
+  std::vector<std::uint32_t> LegacyChain(std::uint32_t epoch,
+                                         std::string_view key) const;
+  // Servers to consult for a read, in order. With a membership attached the
+  // live ring decides (double-reading through an open transition);
+  // otherwise the epoch chain.
+  std::vector<std::uint32_t> GetChain(std::uint32_t epoch,
+                                      std::string_view key) const;
+  // Write routing: membership's primary/secondary split during a
+  // transition, or the plain epoch chain as primary. When the key is gated
+  // (ShouldGate), call this only while holding the handoff gate — the route
+  // may flip to the new ring the moment a handoff commits.
+  kv::Membership::WriteRoute WriteRouteFor(std::uint32_t epoch,
+                                           std::string_view key) const;
 
   // Replication-aware storage primitives. With replication == 1 these are
   // plain single-server operations. `epoch` selects the placement ring
@@ -287,6 +316,7 @@ class MemFs final : public Vfs {
 
   sim::Simulation& sim_;
   kv::KvCluster& storage_;
+  kv::Membership* membership_ = nullptr;  // elastic routing when non-null
   MemFsConfig config_;
   Striper striper_;
   // One distributor per ring epoch; epochs_.back() places new files.

@@ -159,18 +159,26 @@ void Monitor::CloseWindow(sim::SimTime end) {
       last = total;
       return delta / seconds;
     };
+    // A name can be missing from series_by_name_ when a probe callback
+    // just created it (probes run between pre-registration and here, and
+    // must not crash the run even when they break the read-only contract);
+    // it gets registered — and sampled — from the next window on.
     for (const auto& [name, value] : registry_->gauges()) {
-      window.values[series_by_name_.find(name)->second] =
-          static_cast<double>(value);
+      const auto it = series_by_name_.find(name);
+      if (it == series_by_name_.end()) continue;
+      window.values[it->second] = static_cast<double>(value);
     }
     for (const auto& [name, value] : registry_->counters()) {
       const std::string series = name + ".rate";
-      window.values[series_by_name_.find(series)->second] =
-          rate(series, static_cast<double>(value));
+      const auto it = series_by_name_.find(series);
+      if (it == series_by_name_.end()) continue;
+      window.values[it->second] = rate(series, static_cast<double>(value));
     }
     for (const auto& [name, histogram] : registry_->all()) {
       const std::string series = name + ".rate";
-      window.values[series_by_name_.find(series)->second] =
+      const auto it = series_by_name_.find(series);
+      if (it == series_by_name_.end()) continue;
+      window.values[it->second] =
           rate(series, static_cast<double>(histogram.count()));
     }
   }

@@ -88,11 +88,21 @@ Testbed::Testbed(FsKind kind, TestbedConfig config)
       server_config.max_object_size = units::GiB(1);
     }
     client_config.metrics = config_.metrics;
+    if (config_.elastic) client_config.use_ketama = true;
     storage_ = std::make_unique<kv::KvCluster>(
         sim_, *network_, std::move(server_nodes), server_config, costs,
         config_.metrics, config_.kv_policy);
     memfs_ = std::make_unique<fs::MemFs>(sim_, *network_, *storage_,
                                          client_config);
+    if (config_.elastic && kind_ == FsKind::kMemFs) {
+      kv::MembershipConfig member_config = config_.membership;
+      member_config.replication = client_config.replication;
+      membership_ = std::make_unique<kv::Membership>(sim_, *storage_,
+                                                     member_config);
+      migrator_ = std::make_unique<kv::Migrator>(sim_, *membership_,
+                                                 config_.migrator);
+      memfs_->AttachMembership(membership_.get());
+    }
   } else {
     amfs::AmfsConfig amfs_config = config_.amfs;
     amfs_config.node_memory_limit = config_.node_memory_limit;

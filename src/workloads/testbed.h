@@ -12,6 +12,8 @@
 #include "common/metrics.h"
 #include "common/units.h"
 #include "kvstore/kv_cluster.h"
+#include "kvstore/membership.h"
+#include "kvstore/migrator.h"
 #include "memfs/memfs.h"
 #include "net/fluid_network.h"
 #include "net/network.h"
@@ -54,6 +56,14 @@ struct TestbedConfig {
   // Optional caller-owned latency instrumentation, attached to both the
   // storage layer (kv.*) and the MemFS client (vfs.*).
   MetricsRegistry* metrics = nullptr;
+  // Elastic membership (MemFS only): builds a Membership + Migrator pair and
+  // attaches them to the client, replacing epoch pinning with live
+  // rebalancing. Forces the ketama distributor (the ring and the static
+  // distributor agree bit-for-bit on the initial full set, so this changes
+  // no placement until a join/drain opens a transition).
+  bool elastic = false;
+  kv::MembershipConfig membership;
+  kv::MigratorConfig migrator;
 };
 
 class Testbed {
@@ -72,6 +82,10 @@ class Testbed {
   amfs::Amfs* amfs() { return amfs_.get(); }
   kv::KvCluster* storage() { return storage_.get(); }
 
+  // Non-null only when config.elastic is set (MemFS kind).
+  kv::Membership* membership() { return membership_.get(); }
+  kv::Migrator* migrator() { return migrator_.get(); }
+
   // Per-node stored bytes, uniform across both file systems.
   std::uint64_t NodeMemoryUsed(net::NodeId node) const;
   std::uint64_t TotalMemoryUsed() const;
@@ -83,6 +97,8 @@ class Testbed {
   std::unique_ptr<net::FluidNetwork> network_;
   std::unique_ptr<kv::KvCluster> storage_;
   std::unique_ptr<fs::MemFs> memfs_;
+  std::unique_ptr<kv::Membership> membership_;
+  std::unique_ptr<kv::Migrator> migrator_;
   std::unique_ptr<amfs::Amfs> amfs_;
 };
 

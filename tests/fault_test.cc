@@ -11,10 +11,13 @@
 
 #include "common/units.h"
 #include "kvstore/kv_cluster.h"
+#include "kvstore/membership.h"
+#include "kvstore/migrator.h"
 #include "memfs/memfs.h"
 #include "net/fluid_network.h"
 #include "sim/fault.h"
 #include "test_util.h"
+#include "workloads/testbed.h"
 
 namespace memfs {
 namespace {
@@ -534,6 +537,158 @@ TEST(ChaosSoakTest, IdenticalSeedsProduceIdenticalRuns) {
   const SoakCounters first = RunChaosSoak();
   const SoakCounters second = RunChaosSoak();
   EXPECT_EQ(first, second);
+}
+
+// --- Migration chaos: crash the handoff's source / destination ------------
+//
+// A standby node joins a 4-server replication-2 cluster while writes are
+// still landing; mid-handoff one end of the migration (a source server, or
+// the joining destination itself) crashes and restarts. The cluster must
+// stay fully readable throughout — no NOT_FOUND, no stale bytes — and the
+// migrator must converge once the victim is back, because its sweeps are
+// idempotent over whatever the crashed attempt left behind.
+
+struct MigrationChaosOutcome {
+  std::uint32_t writes_ok = 0;
+  std::uint32_t reads_intact = 0;
+  std::uint32_t live_reads = 0;      // verify passes while migration ran
+  std::uint32_t live_not_found = 0;  // NOT_FOUND seen by the live reader
+  std::uint32_t live_stale = 0;      // wrong bytes seen by the live reader
+  std::uint8_t converged = 0;
+  std::uint64_t failed_chunks = 0;
+};
+
+sim::Task RunMigrationChaosDriver(sim::Simulation& sim,
+                                  kv::Membership& membership,
+                                  kv::Migrator& migrator, std::uint8_t& done,
+                                  std::uint8_t& converged) {
+  co_await sim.Delay(Millis(4));
+  (void)membership.BeginJoin(/*node=*/4);
+  for (int runs = 0; membership.migrating() && runs < 32; ++runs) {
+    (void)co_await migrator.Rebalance();
+    co_await sim.Delay(Millis(1));
+  }
+  converged = !membership.migrating();
+  done = 1;
+}
+
+// Re-reads one file in a loop until the driver finishes, classifying every
+// completed pass: intact, NOT_FOUND, or stale/failed.
+sim::Task RunLiveReader(sim::Simulation& sim, fs::Vfs& vfs, std::string path,
+                        std::uint64_t seed, const std::uint8_t& ready,
+                        const std::uint8_t& done,
+                        MigrationChaosOutcome& outcome) {
+  fs::VfsContext ctx{1, 0};
+  while (done == 0) {
+    co_await sim.Delay(Millis(2));
+    if (ready == 0) continue;  // the writer has not closed the file yet
+    auto opened = co_await vfs.Open(ctx, path);
+    if (!opened.ok()) {
+      if (opened.status().code() == ErrorCode::kNotFound) {
+        ++outcome.live_not_found;
+      }
+      continue;
+    }
+    Bytes out;
+    bool failed = false;
+    bool not_found = false;
+    while (true) {
+      auto chunk = co_await vfs.Read(ctx, opened.value(), out.size(), MiB(1));
+      if (!chunk.ok()) {
+        failed = true;
+        not_found = chunk.status().code() == ErrorCode::kNotFound;
+        break;
+      }
+      if (chunk->empty()) break;
+      out.Append(*chunk);
+    }
+    (void)co_await vfs.Close(ctx, opened.value());
+    if (not_found) {
+      ++outcome.live_not_found;
+    } else if (failed || !out.ContentEquals(Bytes::Synthetic(MiB(1), seed))) {
+      ++outcome.live_stale;
+    } else {
+      ++outcome.live_reads;
+    }
+  }
+}
+
+MigrationChaosOutcome RunMigrationChaos(bool kill_destination) {
+  constexpr std::uint32_t kFiles = 12;
+
+  workloads::TestbedConfig config;
+  config.nodes = 4;
+  config.standby_nodes = 1;
+  config.elastic = true;
+  config.memfs.replication = 2;
+  config.memfs.use_ketama = true;
+  config.kv_policy.retry.max_attempts = 5;
+  config.kv_policy.op_deadline = Millis(20);
+  workloads::Testbed bed(workloads::FsKind::kMemFs, config);
+  sim::Simulation& sim = bed.simulation();
+
+  // Live writes span the whole migration window (last one starts at 11 ms;
+  // the join begins at 4 ms).
+  std::vector<std::uint8_t> write_ok(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    RunSoakWrite(sim, bed.vfs(), Millis(1) * i, i % 4,
+                 "/mig_" + std::to_string(i), 2000 + i, write_ok[i]);
+  }
+
+  MigrationChaosOutcome outcome;
+  std::uint8_t done = 0;
+  RunMigrationChaosDriver(sim, *bed.membership(), *bed.migrator(), done,
+                          outcome.converged);
+  RunLiveReader(sim, bed.vfs(), "/mig_0", 2000, write_ok[0], done, outcome);
+
+  // Crash one end of the handoff mid-migration; restart with data intact
+  // (the copies the crashed attempt did land stay put, so the resumed
+  // sweeps must be idempotent over them).
+  const std::uint32_t victim = kill_destination ? 4u : 0u;
+  kv::KvCluster& storage = *bed.storage();
+  sim.Schedule(Millis(5), [&storage, victim] {
+    storage.SetServerDown(victim, true, /*wipe_on_restart=*/false);
+  });
+  sim.Schedule(Millis(13), [&storage, victim] {
+    storage.SetServerDown(victim, false);
+  });
+  sim.Run();
+
+  std::vector<std::uint8_t> intact(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    RunSoakVerify(bed.vfs(), i % 4, "/mig_" + std::to_string(i), 2000 + i,
+                  intact[i]);
+  }
+  sim.Run();
+
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    outcome.writes_ok += write_ok[i];
+    outcome.reads_intact += intact[i];
+  }
+  outcome.failed_chunks = bed.migrator()->progress().failed_chunks;
+  return outcome;
+}
+
+TEST(MigrationChaosTest, SourceCrashMidHandoffLosesNothingAndConverges) {
+  const MigrationChaosOutcome outcome =
+      RunMigrationChaos(/*kill_destination=*/false);
+  EXPECT_EQ(outcome.writes_ok, 12u);
+  EXPECT_EQ(outcome.reads_intact, 12u);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_GT(outcome.live_reads, 0u);
+  EXPECT_EQ(outcome.live_not_found, 0u);
+  EXPECT_EQ(outcome.live_stale, 0u);
+}
+
+TEST(MigrationChaosTest, DestinationCrashMidHandoffLosesNothingAndConverges) {
+  const MigrationChaosOutcome outcome =
+      RunMigrationChaos(/*kill_destination=*/true);
+  EXPECT_EQ(outcome.writes_ok, 12u);
+  EXPECT_EQ(outcome.reads_intact, 12u);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_GT(outcome.live_reads, 0u);
+  EXPECT_EQ(outcome.live_not_found, 0u);
+  EXPECT_EQ(outcome.live_stale, 0u);
 }
 
 }  // namespace

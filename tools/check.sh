@@ -4,7 +4,10 @@
 #   1. configure + build the default (Release-ish) tree in build/,
 #   2. run the full ctest suite (unit tests, lint, determinism gates),
 #   3. configure + build with -DMEMFS_SANITIZE=address,undefined in
-#      build-asan/ and re-run the determinism gates under the sanitizers.
+#      build-asan/ and re-run the determinism gates under the sanitizers
+#      (this includes the elastic join/drain rebalancing gate: same-seed
+#      runs with a mid-traffic join + drain must produce identical event
+#      digests with zero lost reads).
 #
 # Usage: tools/check.sh [jobs]   (default: nproc)
 #

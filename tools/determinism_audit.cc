@@ -26,6 +26,8 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "kvstore/kv_cluster.h"
+#include "kvstore/membership.h"
+#include "kvstore/migrator.h"
 #include "memfs/memfs.h"
 #include "net/fluid_network.h"
 #include "sim/checker.h"
@@ -78,8 +80,36 @@ struct AuditRun {
   std::uint32_t writes_ok = 0;
   std::uint32_t reads_intact = 0;
   std::uint64_t fault_events = 0;
+  bool elastic_ok = true;  // join + drain committed (elastic runs only)
   std::string checker_summary;  // empty when the checker is clean
 };
+
+// Drives one elastic scale-out + scale-in episode mid-traffic: join a 9th
+// server, rebalance, then drain server `drain_server` and rebalance again. A
+// non-converging sweep budget leaves the transition open; the driver re-runs
+// the migrator (resume is idempotent) until it commits.
+sim::Task RunElasticDriver(sim::Simulation& sim, kv::Membership& membership,
+                           kv::Migrator& migrator, std::uint32_t join_node,
+                           std::uint32_t drain_server, std::uint8_t& ok) {
+  co_await sim.Delay(Millis(10));
+  membership.BeginJoin(join_node);
+  std::uint32_t runs = 0;
+  while (membership.migrating() && runs < 10) {
+    // lint: allow(ignored-status) non-converged runs are resumed below
+    (void)co_await migrator.Rebalance();
+    ++runs;
+  }
+  co_await sim.Delay(Millis(8));
+  membership.BeginDrain(drain_server);
+  runs = 0;
+  while (membership.migrating() && runs < 10) {
+    // lint: allow(ignored-status) non-converged runs are resumed below
+    (void)co_await migrator.Rebalance();
+    ++runs;
+  }
+  ok = !membership.migrating() &&
+       membership.state(drain_server) == kv::NodeState::kLeft;
+}
 
 AuditRun RunOnce(std::uint64_t seed, bool batching) {
   sim::Simulation sim;
@@ -156,6 +186,98 @@ AuditRun RunOnce(std::uint64_t seed, bool batching) {
   return run;
 }
 
+// Faulted workload with one server join and one server drain mid-traffic:
+// the elastic determinism gate. The membership ring swap, the handoff gate's
+// wakeup order, and every migrator batch ride the same event stream as the
+// foreground I/O, so any nondeterminism in the rebalancing machinery shows
+// up as a digest mismatch here.
+AuditRun RunElasticOnce(std::uint64_t seed) {
+  sim::Simulation sim;
+  sim::SimChecker checker(sim);
+  // One standby node (index kNodes) hosts the joining server.
+  net::FairShareNetwork network(sim, net::Das4Ipoib(kNodes + 1));
+
+  kv::KvClientPolicy policy;
+  policy.retry.max_attempts = 5;
+  policy.op_deadline = Millis(20);
+
+  std::vector<net::NodeId> server_nodes;
+  for (std::uint32_t n = 0; n < kNodes; ++n) server_nodes.push_back(n);
+  kv::KvCluster storage(sim, network, std::move(server_nodes),
+                        kv::KvServerConfig{}, kv::KvOpCostModel{}, nullptr,
+                        policy);
+  fs::MemFsConfig config;
+  config.replication = 2;
+  config.use_ketama = true;
+  fs::MemFs memfs(sim, network, storage, config);
+
+  kv::MembershipConfig member_config;
+  member_config.replication = config.replication;
+  kv::Membership membership(sim, storage, member_config);
+  kv::Migrator migrator(sim, membership);
+  memfs.AttachMembership(&membership);
+
+  sim::FaultHooks hooks;
+  hooks.set_server_down = [&storage](std::uint32_t server, bool down,
+                                     bool wipe) {
+    storage.SetServerDown(server, down, wipe);
+  };
+  hooks.set_server_slowdown = [&storage](std::uint32_t server, double factor) {
+    storage.SetServerSlowdown(server, factor);
+  };
+  hooks.set_link_fault = [&network](std::uint32_t src, std::uint32_t dst,
+                                    double loss, sim::SimTime extra) {
+    network.SetLinkFault(src, dst, {loss, extra});
+  };
+  hooks.clear_link_fault = [&network](std::uint32_t src, std::uint32_t dst) {
+    network.ClearLinkFault(src, dst);
+  };
+  sim::FaultInjector injector(sim, std::move(hooks));
+
+  sim::FaultScheduleConfig schedule;
+  schedule.seed = seed;
+  schedule.servers = kNodes;  // faults never target the joining server
+  schedule.nodes = kNodes;
+  schedule.horizon = Millis(48);
+  schedule.crashes = 2;
+  schedule.slow_episodes = 1;
+  schedule.link_faults = 1;
+  injector.ScheduleAll(sim::GenerateFaultSchedule(schedule));
+
+  std::vector<std::uint8_t> write_ok(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+    WriteFile(sim, memfs, Millis(3) * i, i % kNodes,
+              "/audit_" + std::to_string(i), 9000 + i, write_ok[i]);
+  }
+  std::uint8_t elastic_ok = 0;
+  // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+  RunElasticDriver(sim, membership, migrator, /*join_node=*/kNodes,
+                   /*drain_server=*/2, elastic_ok);
+  sim.Run();
+
+  std::vector<std::uint8_t> intact(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+    ReadFile(memfs, i % kNodes, "/audit_" + std::to_string(i), 9000 + i,
+             intact[i]);
+  }
+  sim.Run();
+
+  AuditRun run;
+  run.digest = sim.EventDigest();
+  run.events = sim.events_processed();
+  run.fault_events = injector.stats().total_events();
+  run.elastic_ok = elastic_ok != 0;
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    run.writes_ok += write_ok[i];
+    run.reads_intact += intact[i];
+  }
+  checker.Finish();
+  run.checker_summary = checker.Summary();
+  return run;
+}
+
 }  // namespace
 }  // namespace memfs
 
@@ -168,6 +290,10 @@ int main() {
   const auto other = memfs::RunOnce(8, /*batching=*/true);
   const auto plain1 = memfs::RunOnce(7, /*batching=*/false);
   const auto plain2 = memfs::RunOnce(7, /*batching=*/false);
+  // Elastic gate: the same faulted workload with a join + drain mid-traffic.
+  const auto elastic1 = memfs::RunElasticOnce(7);
+  const auto elastic2 = memfs::RunElasticOnce(7);
+  const auto elastic3 = memfs::RunElasticOnce(8);
 
   std::printf("run 1 (seed 7, batched): digest=%016llx events=%llu "
               "faults=%llu writes_ok=%u reads_intact=%u\n",
@@ -187,6 +313,19 @@ int main() {
   std::printf("run 5 (seed 7, unbatched): digest=%016llx events=%llu\n",
               static_cast<unsigned long long>(plain2.digest),
               static_cast<unsigned long long>(plain2.events));
+  std::printf("run 6 (seed 7, elastic): digest=%016llx events=%llu "
+              "faults=%llu writes_ok=%u reads_intact=%u committed=%d\n",
+              static_cast<unsigned long long>(elastic1.digest),
+              static_cast<unsigned long long>(elastic1.events),
+              static_cast<unsigned long long>(elastic1.fault_events),
+              elastic1.writes_ok, elastic1.reads_intact,
+              elastic1.elastic_ok ? 1 : 0);
+  std::printf("run 7 (seed 7, elastic): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(elastic2.digest),
+              static_cast<unsigned long long>(elastic2.events));
+  std::printf("run 8 (seed 8, elastic): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(elastic3.digest),
+              static_cast<unsigned long long>(elastic3.events));
 
   bool failed = false;
   if (first.digest != second.digest) {
@@ -207,7 +346,29 @@ int main() {
                  "the digest does not cover the schedule\n");
     failed = true;
   }
-  for (const auto* run : {&first, &second, &other, &plain1, &plain2}) {
+  if (elastic1.digest != elastic2.digest) {
+    std::fprintf(stderr,
+                 "FAIL: same-seed elastic runs diverged — nondeterminism in "
+                 "the membership / migration machinery\n");
+    failed = true;
+  }
+  if (elastic1.digest == elastic3.digest) {
+    std::fprintf(stderr,
+                 "FAIL: different fault seeds produced identical elastic "
+                 "digests — the digest does not cover the schedule\n");
+    failed = true;
+  }
+  for (const auto* run : {&elastic1, &elastic2, &elastic3}) {
+    if (!run->elastic_ok) {
+      std::fprintf(stderr,
+                   "FAIL: an elastic run did not commit join + drain (the "
+                   "migrator never converged)\n");
+      failed = true;
+      break;
+    }
+  }
+  for (const auto* run : {&first, &second, &other, &plain1, &plain2,
+                          &elastic1, &elastic2, &elastic3}) {
     if (!run->checker_summary.empty()) {
       std::fprintf(stderr, "FAIL: SimChecker findings:\n%s",
                    run->checker_summary.c_str());

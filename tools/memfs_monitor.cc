@@ -27,6 +27,8 @@
 #include "common/metrics.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "kvstore/membership.h"
+#include "kvstore/migrator.h"
 #include "monitor/monitor.h"
 #include "monitor/probes.h"
 #include "monitor/slo.h"
@@ -34,6 +36,7 @@
 #include "mtc/runner.h"
 #include "mtc/scheduler.h"
 #include "sim/fault.h"
+#include "sim/task.h"
 #include "workloads/blast.h"
 #include "workloads/montage.h"
 #include "workloads/testbed.h"
@@ -58,6 +61,7 @@ constexpr const char* kHelp = R"(memfs_monitor — cluster monitoring timeline
   --retention=N                       windows retained     [65536]
   --faults                            seeded fault episodes [off]
   --fault-seed=N                      fault schedule seed  [7]
+  --elastic                           join + drain mid-run [off]
   --slo=RULE[;RULE...]                extra SLO rules      [defaults only]
   --no-default-slo                    drop the default rules
   --balance=BASE                      balance timeline for one family
@@ -69,7 +73,27 @@ constexpr const char* kHelp = R"(memfs_monitor — cluster monitoring timeline
 Default SLO rules:
   skew(kv.mem_bytes) < 1.25 for 95% of windows
   sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of windows
+With --elastic (p99 must hold while data rebalances):
+  value(vfs.write.p99_ms) < 50 for 95% of windows
 )";
+
+// With --elastic: waits for the workload to ramp, joins the standby node,
+// pumps the migrator until handoff commits, then drains one of the original
+// servers the same way — all while the workflow keeps issuing I/O.
+sim::Task RunElasticDriver(sim::Simulation& sim, kv::Membership& membership,
+                           kv::Migrator& migrator, net::NodeId join_node,
+                           std::uint32_t drain_server) {
+  co_await sim.Delay(units::Millis(6));
+  (void)membership.BeginJoin(join_node);
+  for (int runs = 0; membership.migrating() && runs < 16; ++runs) {
+    (void)co_await migrator.Rebalance();
+  }
+  co_await sim.Delay(units::Millis(6));
+  membership.BeginDrain(drain_server);
+  for (int runs = 0; membership.migrating() && runs < 16; ++runs) {
+    (void)co_await migrator.Rebalance();
+  }
+}
 
 workloads::Fabric ParseFabric(const std::string& name) {
   if (name == "gbe") return workloads::Fabric::kDas4GbE;
@@ -104,6 +128,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetUint("retention", 1u << 16));
   const bool faults = flags.GetBool("faults");
   const auto fault_seed = flags.GetUint("fault-seed", 7);
+  const bool elastic = flags.GetBool("elastic");
   const std::string slo_arg = flags.GetString("slo", "");
   const bool no_default_slo = flags.GetBool("no-default-slo");
   const std::string balance = flags.GetString("balance", "");
@@ -145,6 +170,10 @@ int main(int argc, char** argv) {
     config.kv_policy.retry.max_attempts = 5;
     config.kv_policy.op_deadline = units::Millis(20);
   }
+  if (elastic) {
+    config.elastic = true;
+    if (config.standby_nodes == 0) config.standby_nodes = 1;
+  }
   config.metrics = &metrics;
   workloads::Testbed bed(workloads::FsKind::kMemFs, config);
 
@@ -155,6 +184,20 @@ int main(int argc, char** argv) {
   monitor::Monitor mon(bed.simulation(), monitor_config);
   mon.WatchRegistry(&metrics);
   monitor::AttachNetworkProbes(mon, bed.network());
+  if (elastic) {
+    // Cumulative write p99 as a gauge: the SLO below pins it while the
+    // migrator streams keys between servers. Probes must be read-only, so
+    // look the histogram up without creating it (0 until the first write).
+    mon.AddGaugeProbe("vfs.write.p99_ms", [&metrics] {
+      const auto& histograms = metrics.all();
+      const auto it = histograms.find("vfs.write");
+      return it == histograms.end()
+                 ? 0.0
+                 : it->second.PercentileNanos(0.99) / 1e6;
+    });
+    RunElasticDriver(bed.simulation(), *bed.membership(), *bed.migrator(),
+                     /*join_node=*/nodes, /*drain_server=*/1);
+  }
 
   std::unique_ptr<sim::FaultInjector> injector;
   if (faults) {
@@ -219,11 +262,32 @@ int main(int argc, char** argv) {
   monitor::SymmetryAuditor auditor(mon);
   auditor.PrintSummary(std::cout, csv);
 
+  if (elastic) {
+    const kv::Membership& membership = *bed.membership();
+    const kv::MigratorProgress& progress = bed.migrator()->progress();
+    std::cout << "\n# membership / migration\n"
+              << "epoch=" << membership.epoch() << " migrating="
+              << (membership.migrating() ? "yes" : "no") << " states=[";
+    for (std::uint32_t s = 0; s < bed.storage()->server_count(); ++s) {
+      std::cout << (s == 0 ? "" : " ") << s << ":"
+                << kv::NodeStateName(membership.state(s));
+    }
+    std::cout << "]\nkeys_moved=" << progress.keys_moved << "/"
+              << progress.keys_total << " bytes_moved=" << progress.bytes_moved
+              << " sweeps=" << progress.sweeps
+              << " failed_chunks=" << progress.failed_chunks << "\n";
+    if (membership.migrating()) exit_code = 3;
+  }
+
   monitor::SloWatchdog watchdog(mon);
   if (!no_default_slo) {
     (void)watchdog.AddRule("skew(kv.mem_bytes) < 1.25 for 95% of windows");
     (void)watchdog.AddRule(
         "sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of windows");
+    if (elastic) {
+      (void)watchdog.AddRule(
+          "value(vfs.write.p99_ms) < 50 for 95% of windows");
+    }
   }
   std::istringstream extra(slo_arg);
   std::string rule;
