@@ -252,6 +252,10 @@ sim::Task Migrator::MoveChunk(std::vector<std::string> keys,
                              std::move(items), tctx));
   }
   for (auto& [group, future] : get_batches) {
+    // The awaited batch RPC only touches servers, never the gate: writers
+    // blocked on these key locks are exactly what the handoff protocol
+    // requires, and the server side makes progress independently.
+    // lint: allow(await-held-lock) migration RPCs run under the key locks by design
     std::vector<BatchItemResult> results = co_await future;
     for (std::size_t j = 0; j < group.size(); ++j) {
       if (results[j].status.ok()) {

@@ -284,6 +284,7 @@ sim::Task GateLocker(sim::Simulation& sim, kv::HandoffGate& gate,
                      sim::SimTime& locked_at) {
   co_await gate.Lock(key);
   locked_at = sim.now();
+  // lint: allow(await-held-lock) the test exists to hold the lock across time
   co_await sim.Delay(hold);
   gate.Unlock(key);
 }

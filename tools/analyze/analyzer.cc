@@ -1,0 +1,1061 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/parse.h"
+#include "lexer.h"
+
+namespace memfs::analyze {
+
+namespace {
+
+using lint::Finding;
+using lint::Token;
+using lint::TokenizedFile;
+
+constexpr std::size_t kNpos = std::string::npos;
+constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+// --- Name sets ------------------------------------------------------------
+
+// Member calls that move lock state. Acquire pairs with Release (Semaphore /
+// BoundedPool), EnterWriter with ExitWriter and Lock with Unlock
+// (HandoffGate). Lock/Unlock sections are exclusive: the holder shuts out
+// every writer of the key.
+bool IsAcquireName(const std::string& s) {
+  return s == "Acquire" || s == "EnterWriter" || s == "Lock";
+}
+bool IsReleaseName(const std::string& s) {
+  return s == "Release" || s == "ExitWriter" || s == "Unlock";
+}
+
+// Statement keywords that look like calls to the token scanner.
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",     "while",    "switch",        "catch",
+      "return",   "co_return", "co_await", "co_yield",    "assert",
+      "static_assert", "sizeof", "alignof", "decltype",   "defined",
+      "throw",    "new",     "delete"};
+  return kSet;
+}
+
+// Accessor-shaped chain components that never name the lock/container
+// itself (`pools_.at(i).Acquire()` — the lock class is `pools_`, not `at`).
+const std::set<std::string>& Accessors() {
+  static const std::set<std::string> kSet = {
+      "at", "get", "front", "back", "begin", "end", "cbegin", "cend",
+      "value", "first", "second"};
+  return kSet;
+}
+
+// Wall-clock blocking primitives that must never be reachable from a
+// coroutine: a blocked coroutine stalls the whole single-threaded event
+// loop, and none of these route through the simulated clock.
+const std::set<std::string>& BlockingNames() {
+  static const std::set<std::string> kSet = {
+      "sleep",      "usleep",     "nanosleep", "sleep_for", "sleep_until",
+      "join",       "wait",       "wait_for",  "wait_until", "lock",
+      "try_lock_for"};
+  return kSet;
+}
+
+// Order-sensitive sinks for the determinism dataflow rule: anything whose
+// observable output depends on call order. Digest/byte streams (Append),
+// trace emission, simulation event scheduling, RPC/op issue, and monitor
+// probe registration. Commutative metric updates (counters, gauges,
+// histogram records) are deliberately absent.
+const std::set<std::string>& SinkNames() {
+  static const std::set<std::string> kSet = {
+      "Append",       "StartSpan", "StartSpanOn", "AddEvent", "EndSpan",
+      "Annotate",     "Schedule",  "ScheduleAt",  "Resume",   "Set",
+      "Get",          "Delete",    "MultiSet",    "MultiGet", "MultiDelete",
+      "EnqueueMutation", "Send",   "AddGaugeProbe", "AddRateProbe"};
+  return kSet;
+}
+
+const std::set<std::string>& SortNames() {
+  static const std::set<std::string> kSet = {
+      "sort", "stable_sort", "nth_element", "min_element", "max_element"};
+  return kSet;
+}
+
+// --- Token helpers --------------------------------------------------------
+
+std::size_t MatchForward(const std::vector<Token>& t, std::size_t open,
+                         const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == open_text) ++depth;
+    if (t[i].text == close_text && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+std::size_t MatchBackward(const std::vector<Token>& t, std::size_t close,
+                          const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (t[i].text == close_text) ++depth;
+    if (t[i].text == open_text && --depth == 0) return i;
+  }
+  return kNpos;
+}
+
+// The identity-carrying component of a member chain, walking backward over
+// `expr` in [begin, end): for `slot.workers->...` the tail is `workers`, for
+// `pools_.at(node)....` it is `pools_` (accessors are skipped), for
+// `membership_->gate()....` it is `gate`. `aliases` resolves local
+// references (`auto& pool = flush_pools_->at(node);` maps pool ->
+// flush_pools_).
+std::string TailOfExpr(const std::vector<Token>& t, std::size_t begin,
+                       std::size_t end,
+                       const std::map<std::string, std::string>& aliases) {
+  std::vector<std::string> comps;  // tail-first
+  std::size_t i = end;
+  while (i > begin) {
+    --i;
+    const std::string& text = t[i].text;
+    if (text == ")" || text == "]") {
+      const std::size_t open =
+          MatchBackward(t, i, text == ")" ? "(" : "[", text.c_str());
+      if (open == kNpos || open <= begin) break;
+      i = open;  // next iteration looks at the token before the opener
+      continue;
+    }
+    if (t[i].kind == Token::Kind::kIdent) {
+      comps.push_back(text);
+      if (i == begin) break;
+      const std::string& sep = t[i - 1].text;
+      if (sep == "." || sep == "->" || sep == "::") {
+        --i;  // skip the separator; the loop steps to the next component
+        continue;
+      }
+      break;
+    }
+    break;
+  }
+  std::string chosen;
+  for (const std::string& comp : comps) {
+    if (Accessors().count(comp) == 0) {
+      chosen = comp;
+      break;
+    }
+  }
+  if (chosen.empty()) chosen = comps.empty() ? "<expr>" : comps.back();
+  auto alias = aliases.find(chosen);
+  if (alias != aliases.end() && alias->second != chosen) {
+    return alias->second;
+  }
+  return chosen;
+}
+
+// --- Per-function facts ---------------------------------------------------
+
+struct Site {
+  std::string file;
+  int line = 0;
+  std::string fn;  // display name of the containing function
+};
+
+struct HeldLock {
+  std::string lock;
+  bool exclusive = false;
+  int line = 0;  // acquisition line
+};
+
+struct AcquireEvent {
+  std::string lock;
+  int line = 0;
+  std::vector<HeldLock> held;  // held set just before this acquisition
+};
+
+struct CallRec {
+  std::string callee;
+  int line = 0;
+  bool in_lambda = false;
+  std::vector<HeldLock> held;
+};
+
+struct FnFacts {
+  const TranslationUnit* tu = nullptr;
+  const FunctionInfo* fn = nullptr;
+  std::map<std::string, std::string> aliases;
+  std::vector<AcquireEvent> acquires;
+  std::map<std::string, Site> own_acquires;  // lock -> first site
+  std::map<std::string, Site> may_acquire;   // transitive (fixpoint)
+  std::vector<CallRec> calls;
+  // blocking-call facts.
+  bool reaches_blocking = false;
+  Site blocking_site;
+  std::string blocking_name;
+  bool blocking_is_direct = false;
+  // unordered-sink facts: 0 = calls a sink directly, k = through k calls.
+  int sink_depth = kUnreachable;
+  std::string sink_name;
+  Site sink_site;
+};
+
+// --- The analysis ---------------------------------------------------------
+
+class Analysis {
+ public:
+  explicit Analysis(std::vector<TranslationUnit> tus) : tus_(std::move(tus)) {}
+
+  std::vector<Finding> Run(Stats& stats);
+
+ private:
+  void CollectGlobalDecls();
+  void ScanFunction(const TranslationUnit& tu, const FunctionInfo& fn,
+                    FnFacts& facts);
+  void PropagateSummaries();
+  void LockGraphRules();
+  void BlockingRule();
+  void LoopRules(const FnFacts& facts);
+  void StatusFlowRule(const FnFacts& facts);
+  void AddFinding(const std::string& file, int line, std::string rule,
+                  std::string message);
+
+  const std::vector<FnFacts*>& Targets(const std::string& name) {
+    static const std::vector<FnFacts*> kNone;
+    auto it = symtab_.find(name);
+    return it == symtab_.end() ? kNone : it->second;
+  }
+
+  // Call resolution used for summary propagation (locks, blocking, sinks).
+  // Names with many same-named definitions (Get/Set/Add/...) would connect
+  // unrelated subsystems and flood every rule with phantom paths, so
+  // summaries only flow through callees that resolve nearly uniquely.
+  const std::vector<FnFacts*>& ResolvedTargets(const std::string& name) {
+    static const std::vector<FnFacts*> kNone;
+    const std::vector<FnFacts*>& all = Targets(name);
+    return all.size() <= 2 ? all : kNone;
+  }
+
+  std::vector<TranslationUnit> tus_;
+  std::vector<FnFacts> fns_;
+  std::map<std::string, std::vector<FnFacts*>> symtab_;
+  std::map<std::string, const TokenizedFile*> suppressions_;  // by path
+  // Global declaration knowledge.
+  std::set<std::string> unordered_vars_;
+  std::set<std::string> unordered_fns_;
+  std::set<std::string> unordered_types_;
+  // Pointer-container identity is tracked per TU (keyed by path): these
+  // names are usually short locals (`all`, `group`) and a global namespace
+  // would produce cross-file collisions.
+  std::map<std::string, std::set<std::string>> ptr_elem_vars_;
+  std::map<std::string, std::set<std::string>> ptr_keyed_vars_;
+  std::set<std::string> status_fns_;
+  // Lock-order graph: (from, to) -> witness sites.
+  struct Edge {
+    Site holder;   // where `from` was acquired
+    Site acquire;  // where `to` is acquired while `from` is held
+    std::string via;  // callee name when the edge crosses a call, else empty
+  };
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+  std::vector<Finding> findings_;
+  int call_edges_ = 0;
+  int call_sites_ = 0;
+  int lock_sites_ = 0;
+  int unordered_loops_ = 0;
+};
+
+void Analysis::AddFinding(const std::string& file, int line, std::string rule,
+                          std::string message) {
+  bool suppressed = false;
+  auto it = suppressions_.find(file);
+  if (it != suppressions_.end()) {
+    suppressed = lint::IsSuppressed(it->second->suppressions, line, rule);
+  }
+  findings_.push_back(
+      Finding{file, line, std::move(rule), std::move(message), suppressed});
+}
+
+// Scans every TU's full token stream for container/alias/Status
+// declarations the rules need to resolve names globally.
+void Analysis::CollectGlobalDecls() {
+  auto declared_name = [](const std::vector<Token>& t, std::size_t after)
+      -> std::pair<std::string, bool> {  // (name, is_function)
+    std::size_t k = after;
+    while (k < t.size() &&
+           (t[k].text == "*" || t[k].text == "&" || t[k].text == "const")) {
+      ++k;
+    }
+    if (k >= t.size() || t[k].kind != Token::Kind::kIdent) return {"", false};
+    const bool is_fn = k + 1 < t.size() && t[k + 1].text == "(";
+    return {t[k].text, is_fn};
+  };
+
+  // Pass 1: literal std::unordered_* declarations, pointer containers,
+  // unordered type aliases, Status-returning function names.
+  for (const TranslationUnit& tu : tus_) {
+    const std::vector<Token>& t = tu.lexed.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const std::string& text = t[i].text;
+      if ((text == "unordered_map" || text == "unordered_set" ||
+           text == "unordered_multimap" || text == "unordered_multiset") &&
+          i + 1 < t.size() && t[i + 1].text == "<") {
+        const std::size_t close = MatchForward(t, i + 1, "<", ">");
+        if (close == kNpos) continue;
+        auto [name, is_fn] = declared_name(t, close + 1);
+        if (name.empty()) continue;
+        (is_fn ? unordered_fns_ : unordered_vars_).insert(name);
+      } else if ((text == "vector" || text == "deque" || text == "array" ||
+                  text == "span") &&
+                 i + 1 < t.size() && t[i + 1].text == "<") {
+        const std::size_t close = MatchForward(t, i + 1, "<", ">");
+        if (close == kNpos) continue;
+        bool has_ptr = false;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (t[k].text == "*") has_ptr = true;
+        }
+        if (!has_ptr) continue;
+        auto [name, is_fn] = declared_name(t, close + 1);
+        if (!name.empty() && !is_fn) ptr_elem_vars_[tu.path].insert(name);
+      } else if ((text == "map" || text == "set" || text == "multimap" ||
+                  text == "multiset") &&
+                 i + 1 < t.size() && t[i + 1].text == "<") {
+        const std::size_t close = MatchForward(t, i + 1, "<", ">");
+        if (close == kNpos) continue;
+        // Pointer in the key position: up to the first depth-1 comma.
+        int depth = 0;
+        bool key_ptr = false;
+        for (std::size_t k = i + 1; k < close; ++k) {
+          if (t[k].text == "<") ++depth;
+          if (t[k].text == ">") --depth;
+          if (t[k].text == "," && depth == 1) break;
+          if (t[k].text == "*" && depth == 1) key_ptr = true;
+        }
+        if (!key_ptr) continue;
+        auto [name, is_fn] = declared_name(t, close + 1);
+        if (!name.empty() && !is_fn) ptr_keyed_vars_[tu.path].insert(name);
+      } else if (text == "using" && i + 3 < t.size() &&
+                 t[i + 1].kind == Token::Kind::kIdent &&
+                 t[i + 2].text == "=") {
+        for (std::size_t k = i + 3; k < t.size() && t[k].text != ";"; ++k) {
+          if (t[k].text == "unordered_map" || t[k].text == "unordered_set") {
+            unordered_types_.insert(t[i + 1].text);
+            break;
+          }
+        }
+      } else if (text == "Status" && i + 2 < t.size() &&
+                 t[i + 1].kind == Token::Kind::kIdent &&
+                 t[i + 2].text == "(" &&
+                 (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->"))) {
+        status_fns_.insert(t[i + 1].text);
+      }
+    }
+  }
+  // Pass 2: declarations through unordered type aliases.
+  if (unordered_types_.empty()) return;
+  for (const TranslationUnit& tu : tus_) {
+    const std::vector<Token>& t = tu.lexed.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != Token::Kind::kIdent ||
+          unordered_types_.count(t[i].text) == 0) {
+        continue;
+      }
+      auto [name, is_fn] = declared_name(t, i + 1);
+      if (name.empty()) continue;
+      (is_fn ? unordered_fns_ : unordered_vars_).insert(name);
+    }
+  }
+}
+
+void Analysis::ScanFunction(const TranslationUnit& tu, const FunctionInfo& fn,
+                            FnFacts& facts) {
+  const std::vector<Token>& t = tu.lexed.tokens;
+  facts.tu = &tu;
+  facts.fn = &fn;
+
+  // Local reference aliases: `Type& name = expr;`.
+  for (std::size_t i = fn.body_begin + 2; i < fn.body_end; ++i) {
+    if (t[i].text != "=" || t[i - 1].kind != Token::Kind::kIdent ||
+        t[i - 2].text != "&") {
+      continue;
+    }
+    std::size_t semi = i + 1;
+    while (semi < fn.body_end && t[semi].text != ";") ++semi;
+    const std::string tail = TailOfExpr(t, i + 1, semi, {});
+    if (!tail.empty() && tail != "<expr>") {
+      facts.aliases.emplace(t[i - 1].text, tail);
+    }
+  }
+
+  std::vector<HeldLock> held;
+  std::set<std::string> await_flagged;
+  std::set<std::string> reacquire_flagged;
+  std::set<int> return_flagged;
+
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    const Token& tok = t[i];
+    const bool in_lambda = InLambda(fn, i);
+
+    if (!in_lambda && tok.text == "co_await") {
+      for (const HeldLock& h : held) {
+        if (h.exclusive && await_flagged.insert(h.lock).second) {
+          AddFinding(tu.path, tok.line, "await-held-lock",
+                     "co_await while exclusive lock '" + h.lock +
+                         "' (acquired line " + std::to_string(h.line) +
+                         ") is held; awaited work can depend on the locked "
+                         "key — release first or annotate with "
+                         "// lint: allow(await-held-lock) <why>");
+        }
+      }
+      continue;
+    }
+    if (!in_lambda && (tok.text == "return" || tok.text == "co_return")) {
+      if (!held.empty() && return_flagged.insert(tok.line).second) {
+        std::string held_list;
+        for (const HeldLock& h : held) {
+          if (!held_list.empty()) held_list += ", ";
+          held_list += "'" + h.lock + "' (line " + std::to_string(h.line) +
+                       ")";
+        }
+        AddFinding(tu.path, tok.line, "locked-return",
+                   tok.text + " while still holding " + held_list +
+                       "; release on every exit path or annotate with "
+                       "// lint: allow(locked-return) <why>");
+      }
+      continue;
+    }
+    if (tok.kind != Token::Kind::kIdent || i + 1 >= fn.body_end ||
+        t[i + 1].text != "(") {
+      continue;
+    }
+    const bool member =
+        i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+    const std::string& name = tok.text;
+    // `Type name(args)` is a variable declaration (e.g. `trace::ScopedSpan
+    // wait(ctx, ...)`), not a call to `name`: skip when the preceding token
+    // is a plain identifier (that is not a statement keyword) or a closing
+    // template angle.
+    if (!member && i > fn.body_begin + 1 &&
+        ((t[i - 1].kind == Token::Kind::kIdent &&
+          CallKeywords().count(t[i - 1].text) == 0) ||
+         t[i - 1].text == ">")) {
+      continue;
+    }
+
+    if (member && (IsAcquireName(name) || IsReleaseName(name))) {
+      if (in_lambda) continue;  // deferred code: held state unknowable here
+      std::string cls = TailOfExpr(t, fn.body_begin, i - 1, facts.aliases);
+      if (name == "EnterWriter" || name == "ExitWriter") cls += "#writer";
+      if (name == "Lock" || name == "Unlock") cls += "#lock";
+      if (IsAcquireName(name)) {
+        ++lock_sites_;
+        const bool already =
+            std::any_of(held.begin(), held.end(),
+                        [&](const HeldLock& h) { return h.lock == cls; });
+        if (already && reacquire_flagged.insert(cls).second) {
+          AddFinding(tu.path, tok.line, "held-reacquire",
+                     "'" + cls + "' is acquired again while already held by "
+                     "this function; a second blocking acquisition of the "
+                     "same lock class can self-deadlock — restructure or "
+                     "annotate with // lint: allow(held-reacquire) <why>");
+        }
+        facts.acquires.push_back(AcquireEvent{cls, tok.line, held});
+        facts.own_acquires.try_emplace(cls,
+                                       Site{tu.path, tok.line, fn.display});
+        held.push_back(HeldLock{cls, name == "Lock", tok.line});
+      } else {
+        for (std::size_t h = held.size(); h-- > 0;) {
+          if (held[h].lock == cls) {
+            held.erase(held.begin() + static_cast<std::ptrdiff_t>(h));
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (CallKeywords().count(name) > 0) continue;
+    ++call_sites_;
+    CallRec call;
+    call.callee = name;
+    call.line = tok.line;
+    call.in_lambda = in_lambda;
+    if (!in_lambda) call.held = held;
+    facts.calls.push_back(std::move(call));
+    if (BlockingNames().count(name) > 0 && !facts.reaches_blocking) {
+      facts.reaches_blocking = true;
+      facts.blocking_is_direct = true;
+      facts.blocking_site = Site{tu.path, tok.line, fn.display};
+      facts.blocking_name = name;
+    }
+    if (SinkNames().count(name) > 0 && facts.sink_depth > 0) {
+      facts.sink_depth = 0;
+      facts.sink_name = name;
+      facts.sink_site = Site{tu.path, tok.line, fn.display};
+    }
+  }
+}
+
+// Fixpoint over the call graph: transitive may-acquire sets, blocking-call
+// reachability, and sink depth. Deterministic: functions are processed in
+// registration order until nothing changes.
+void Analysis::PropagateSummaries() {
+  for (FnFacts& f : fns_) f.may_acquire = f.own_acquires;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && ++rounds < 64) {
+    changed = false;
+    for (FnFacts& f : fns_) {
+      for (const CallRec& call : f.calls) {
+        for (FnFacts* g : ResolvedTargets(call.callee)) {
+          if (g == &f) continue;
+          for (const auto& [lock, site] : g->may_acquire) {
+            if (f.may_acquire.emplace(lock, site).second) changed = true;
+          }
+          if (g->reaches_blocking && !f.reaches_blocking) {
+            f.reaches_blocking = true;
+            f.blocking_site = g->blocking_site;
+            f.blocking_name = g->blocking_name;
+            changed = true;
+          }
+          if (g->sink_depth != kUnreachable &&
+              g->sink_depth + 1 < f.sink_depth) {
+            f.sink_depth = g->sink_depth + 1;
+            f.sink_name = g->sink_name;
+            f.sink_site = g->sink_site;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Analysis::LockGraphRules() {
+  // Intra-function edges: lock B acquired while A held.
+  for (const FnFacts& f : fns_) {
+    for (const AcquireEvent& ev : f.acquires) {
+      for (const HeldLock& h : ev.held) {
+        if (h.lock == ev.lock) continue;
+        edges_.emplace(
+            std::make_pair(h.lock, ev.lock),
+            Edge{Site{f.tu->path, h.line, f.fn->display},
+                 Site{f.tu->path, ev.line, f.fn->display}, ""});
+      }
+    }
+  }
+  // Cross-function edges and cross-call re-acquisitions.
+  for (const FnFacts& f : fns_) {
+    std::set<std::string> cross_flagged;
+    for (const CallRec& call : f.calls) {
+      if (call.held.empty()) continue;
+      for (FnFacts* g : ResolvedTargets(call.callee)) {
+        if (g == &f) continue;
+        for (const auto& [lock, site] : g->may_acquire) {
+          for (const HeldLock& h : call.held) {
+            if (h.lock == lock) {
+              if (cross_flagged.insert(lock).second) {
+                AddFinding(f.tu->path, call.line, "held-reacquire",
+                           "'" + lock + "' (held since line " +
+                               std::to_string(h.line) +
+                               ") may be acquired again inside the call to '" +
+                               call.callee + "' (acquisition at " + site.file +
+                               ":" + std::to_string(site.line) + " in " +
+                               site.fn + ")");
+              }
+              continue;
+            }
+            edges_.emplace(std::make_pair(h.lock, lock),
+                           Edge{Site{f.tu->path, h.line, f.fn->display}, site,
+                                call.callee});
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the acquisition-order graph (Tarjan SCC).
+  std::vector<std::string> nodes;
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, edge] : edges_) {
+    (void)edge;
+    adj[key.first].push_back(key.second);
+    nodes.push_back(key.first);
+    nodes.push_back(key.second);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  std::map<std::string, int> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+  // Iterative Tarjan keyed by node name; adjacency lists are sorted for
+  // deterministic SCC output.
+  for (auto& [node, neighbors] : adj) {
+    (void)node;
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        auto it = adj.find(v);
+        if (it != adj.end()) {
+          for (const std::string& w : it->second) {
+            if (index.find(w) == index.end()) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack.count(w) > 0) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          if (scc.size() >= 2) {
+            std::sort(scc.begin(), scc.end());
+            sccs.push_back(std::move(scc));
+          }
+        }
+      };
+  for (const std::string& node : nodes) {
+    if (index.find(node) == index.end()) strongconnect(node);
+  }
+  std::sort(sccs.begin(), sccs.end());
+
+  for (const std::vector<std::string>& scc : sccs) {
+    const std::set<std::string> members(scc.begin(), scc.end());
+    // Shortest cycle through the smallest member: BFS over SCC-internal
+    // edges back to the start.
+    const std::string& start = scc.front();
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> queue = {start};
+    std::string closer;  // node with an edge back to start
+    for (std::size_t qi = 0; qi < queue.size() && closer.empty(); ++qi) {
+      const std::string u = queue[qi];
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (const std::string& w : it->second) {
+        if (members.count(w) == 0) continue;
+        if (w == start) {
+          closer = u;
+          break;
+        }
+        if (parent.emplace(w, u).second) queue.push_back(w);
+      }
+    }
+    if (closer.empty()) continue;  // defensive: SCC>=2 always has a cycle
+    std::vector<std::string> cycle = {start};
+    for (std::string v = closer; v != start; v = parent.at(v)) {
+      cycle.insert(cycle.begin() + 1, v);
+    }
+    cycle.push_back(start);
+
+    std::ostringstream msg;
+    msg << "potential deadlock: lock acquisition order cycle ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) msg << " -> ";
+      msg << "'" << cycle[i] << "'";
+    }
+    const Edge* anchor = nullptr;
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const Edge& e = edges_.at({cycle[i], cycle[i + 1]});
+      if (anchor == nullptr) anchor = &e;
+      msg << "; '" << cycle[i + 1] << "' acquired at " << e.acquire.file
+          << ":" << e.acquire.line << " (in " << e.acquire.fn << ")";
+      if (!e.via.empty()) msg << " via call to '" << e.via << "'";
+      msg << " while '" << cycle[i] << "' held (acquired at " << e.holder.file
+          << ":" << e.holder.line << " in " << e.holder.fn << ")";
+    }
+    AddFinding(anchor->acquire.file, anchor->acquire.line, "lock-order",
+               msg.str());
+  }
+}
+
+void Analysis::BlockingRule() {
+  for (const FnFacts& f : fns_) {
+    if (!f.fn->is_coroutine) continue;
+    if (f.blocking_is_direct) {
+      AddFinding(f.tu->path, f.blocking_site.line, "blocking-call",
+                 "coroutine '" + f.fn->display + "' calls blocking '" +
+                     f.blocking_name +
+                     "'; a blocked coroutine stalls the whole event loop — "
+                     "use the simulated clock / sim primitives");
+      continue;
+    }
+    if (!f.reaches_blocking) continue;
+    // Anchor at the first call that leads to the blocking primitive.
+    for (const CallRec& call : f.calls) {
+      bool leads = false;
+      for (FnFacts* g : ResolvedTargets(call.callee)) {
+        if (g->reaches_blocking) {
+          leads = true;
+          break;
+        }
+      }
+      if (!leads) continue;
+      AddFinding(f.tu->path, call.line, "blocking-call",
+                 "coroutine '" + f.fn->display + "' reaches blocking '" +
+                     f.blocking_name + "' (" + f.blocking_site.file + ":" +
+                     std::to_string(f.blocking_site.line) +
+                     ") through the call to '" + call.callee +
+                     "'; a blocked coroutine stalls the whole event loop");
+      break;
+    }
+  }
+}
+
+void Analysis::LoopRules(const FnFacts& facts) {
+  const TranslationUnit& tu = *facts.tu;
+  const FunctionInfo& fn = *facts.fn;
+  const std::vector<Token>& t = tu.lexed.tokens;
+  static const std::set<std::string> kEmpty;
+  auto tu_set =
+      [&](const std::map<std::string, std::set<std::string>>& by_path)
+      -> const std::set<std::string>& {
+    auto it = by_path.find(tu.path);
+    return it == by_path.end() ? kEmpty : it->second;
+  };
+  const std::set<std::string>& ptr_elems = tu_set(ptr_elem_vars_);
+  const std::set<std::string>& ptr_keyed = tu_set(ptr_keyed_vars_);
+
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    const Token& tok = t[i];
+    if (tok.kind != Token::Kind::kIdent) continue;
+
+    // Default-comparator sort of a pointer container.
+    if (SortNames().count(tok.text) > 0 && i + 1 < fn.body_end &&
+        t[i + 1].text == "(") {
+      const std::size_t close = MatchForward(t, i + 1, "(", ")");
+      if (close == kNpos) continue;
+      std::size_t first_comma = close;
+      int commas = 0;
+      int depth = 0;
+      for (std::size_t k = i + 1; k < close; ++k) {
+        if (t[k].text == "(" || t[k].text == "<" || t[k].text == "[" ||
+            t[k].text == "{") {
+          ++depth;
+        } else if (t[k].text == ")" || t[k].text == ">" ||
+                   t[k].text == "]" || t[k].text == "}") {
+          --depth;
+        } else if (t[k].text == "," && depth == 1) {
+          ++commas;
+          if (first_comma == close) first_comma = k;
+        }
+      }
+      const std::string arg_tail =
+          TailOfExpr(t, i + 2, first_comma, facts.aliases);
+      const int default_comparator_max = tok.text == "nth_element" ? 2 : 1;
+      if (ptr_elems.count(arg_tail) > 0 &&
+          commas <= default_comparator_max) {
+        AddFinding(tu.path, tok.line, "pointer-order",
+                   "std::" + tok.text + " over pointer container '" +
+                       arg_tail + "' with the default comparator orders by "
+                       "address, which varies run to run; sort by a stable "
+                       "key instead");
+      }
+      continue;
+    }
+
+    if (tok.text != "for" || i + 1 >= fn.body_end || t[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t close = MatchForward(t, i + 1, "(", ")");
+    if (close == kNpos) continue;
+    // Range-for: ':' at parenthesis depth 1.
+    std::size_t colon = kNpos;
+    int depth = 0;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (t[k].text == "(" || t[k].text == "[" || t[k].text == "{") ++depth;
+      if (t[k].text == ")" || t[k].text == "]" || t[k].text == "}") --depth;
+      if (t[k].text == ":" && depth == 1) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == kNpos) continue;
+    const std::string range_tail =
+        TailOfExpr(t, colon + 1, close, facts.aliases);
+    const bool unordered = unordered_vars_.count(range_tail) > 0 ||
+                           unordered_fns_.count(range_tail) > 0;
+    const bool is_ptr_keyed = ptr_keyed.count(range_tail) > 0;
+    if (!unordered && !is_ptr_keyed) continue;
+
+    // Loop body range.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < fn.body_end && t[body_begin].text == "{") {
+      body_end = MatchForward(t, body_begin, "{", "}");
+      if (body_end == kNpos) continue;
+    } else {
+      body_end = body_begin;
+      while (body_end < fn.body_end && t[body_end].text != ";") ++body_end;
+    }
+
+    if (is_ptr_keyed) {
+      AddFinding(tu.path, tok.line, "pointer-order",
+                 "iteration over pointer-keyed container '" + range_tail +
+                     "' visits elements in address order, which varies run "
+                     "to run; key by a stable identifier");
+      i = body_end;
+      continue;
+    }
+
+    ++unordered_loops_;
+    // Does the loop body reach an order-sensitive sink?
+    std::string sink;
+    int sink_line = 0;
+    for (std::size_t k = body_begin; k <= body_end && k < fn.body_end; ++k) {
+      if (t[k].text == "co_await") {
+        sink = "co_await (suspension order is part of the event stream)";
+        sink_line = t[k].line;
+        break;
+      }
+      if (t[k].kind != Token::Kind::kIdent || k + 1 >= fn.body_end ||
+          t[k + 1].text != "(") {
+        continue;
+      }
+      if (SinkNames().count(t[k].text) > 0) {
+        sink = "'" + t[k].text + "'";
+        sink_line = t[k].line;
+        break;
+      }
+      if (CallKeywords().count(t[k].text) > 0) continue;
+      for (FnFacts* g : ResolvedTargets(t[k].text)) {
+        if (g->sink_depth <= 1) {
+          sink = "'" + g->sink_name + "' (" + g->sink_site.file + ":" +
+                 std::to_string(g->sink_site.line) + ") via call to '" +
+                 t[k].text + "'";
+          sink_line = t[k].line;
+          break;
+        }
+      }
+      if (!sink.empty()) break;
+    }
+    if (!sink.empty()) {
+      AddFinding(tu.path, tok.line, "unordered-sink",
+                 "iteration over unordered container '" + range_tail +
+                     "' reaches order-sensitive sink " + sink + " (line " +
+                     std::to_string(sink_line) +
+                     "); iterate a sorted copy or annotate with "
+                     "// lint: allow(unordered-sink) <why>");
+    }
+    i = body_end;
+  }
+}
+
+void Analysis::StatusFlowRule(const FnFacts& facts) {
+  const TranslationUnit& tu = *facts.tu;
+  const FunctionInfo& fn = *facts.fn;
+  const std::vector<Token>& t = tu.lexed.tokens;
+
+  auto check_usage = [&](const std::string& name, std::size_t decl_end,
+                         int line) {
+    for (std::size_t k = decl_end; k < fn.body_end; ++k) {
+      if (t[k].kind == Token::Kind::kIdent && t[k].text == name) return;
+    }
+    AddFinding(tu.path, line, "status-flow",
+               "Status assigned to '" + name + "' is never checked in this "
+               "function; test .ok() / propagate it, or annotate with "
+               "// lint: allow(status-flow) <why>");
+  };
+
+  for (std::size_t i = fn.body_begin + 1; i + 2 < fn.body_end; ++i) {
+    const Token& tok = t[i];
+    if (tok.kind != Token::Kind::kIdent) continue;
+    if (t[i + 1].kind != Token::Kind::kIdent || t[i + 2].text != "=") {
+      continue;
+    }
+    const std::string& var = t[i + 1].text;
+    std::size_t semi = i + 3;
+    while (semi < fn.body_end && t[semi].text != ";") ++semi;
+    if (tok.text == "Status") {
+      check_usage(var, semi + 1, t[i + 1].line);
+      i = semi;
+    } else if (tok.text == "auto") {
+      // `auto s = [co_await] <chain>.Fn(...)` with Fn Status-returning.
+      std::size_t k = i + 3;
+      if (k < semi && t[k].text == "co_await") ++k;
+      std::size_t open = k;
+      while (open < semi && t[open].text != "(") ++open;
+      if (open >= semi || open == k ||
+          t[open - 1].kind != Token::Kind::kIdent) {
+        continue;
+      }
+      if (status_fns_.count(t[open - 1].text) == 0) continue;
+      check_usage(var, semi + 1, t[i + 1].line);
+      i = semi;
+    }
+  }
+}
+
+std::vector<Finding> Analysis::Run(Stats& stats) {
+  for (const TranslationUnit& tu : tus_) {
+    suppressions_.emplace(tu.path, &tu.lexed);
+  }
+  CollectGlobalDecls();
+
+  // Parse facts for every function, building the symbol table.
+  std::size_t total_fns = 0;
+  for (const TranslationUnit& tu : tus_) total_fns += tu.functions.size();
+  fns_.reserve(total_fns);
+  for (const TranslationUnit& tu : tus_) {
+    for (const FunctionInfo& fn : tu.functions) {
+      fns_.emplace_back();
+      ScanFunction(tu, fn, fns_.back());
+    }
+  }
+  for (FnFacts& f : fns_) {
+    symtab_[f.fn->name].push_back(&f);
+  }
+  for (const FnFacts& f : fns_) {
+    for (const CallRec& call : f.calls) {
+      call_edges_ += static_cast<int>(Targets(call.callee).size());
+    }
+  }
+
+  PropagateSummaries();
+  LockGraphRules();
+  BlockingRule();
+  for (const FnFacts& f : fns_) {
+    LoopRules(f);
+    StatusFlowRule(f);
+  }
+
+  // Audit of suppressions naming analyzer rules is lint's job (shared
+  // registry in tools/lexer.cc); no duplicate audit here.
+
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+
+  stats.files = static_cast<int>(tus_.size());
+  stats.functions = static_cast<int>(fns_.size());
+  for (const FnFacts& f : fns_) {
+    if (f.fn->is_coroutine) ++stats.coroutines;
+  }
+  stats.call_sites = call_sites_;
+  stats.call_edges = call_edges_;
+  stats.lock_sites = lock_sites_;
+  std::set<std::string> classes;
+  for (const FnFacts& f : fns_) {
+    for (const auto& [lock, site] : f.own_acquires) {
+      (void)site;
+      classes.insert(lock);
+    }
+  }
+  stats.lock_classes = static_cast<int>(classes.size());
+  stats.unordered_loops = unordered_loops_;
+  for (const Finding& f : findings_) {
+    ++(f.suppressed ? stats.suppressed : stats.findings)[f.rule];
+  }
+  return std::move(findings_);
+}
+
+}  // namespace
+
+// --- Public interface -----------------------------------------------------
+
+std::string FormatStats(const Stats& stats) {
+  std::ostringstream out;
+  out << "analyze: " << stats.files << " TU(s), " << stats.functions
+      << " function(s) (" << stats.coroutines << " coroutines), "
+      << stats.call_sites << " call site(s), " << stats.call_edges
+      << " resolved call edge(s)\n";
+  out << "locks: " << stats.lock_classes << " class(es), " << stats.lock_sites
+      << " acquisition site(s); unordered-container loops: "
+      << stats.unordered_loops << "\n";
+  std::set<std::string> rules;
+  for (const auto& [rule, n] : stats.findings) {
+    (void)n;
+    rules.insert(rule);
+  }
+  for (const auto& [rule, n] : stats.suppressed) {
+    (void)n;
+    rules.insert(rule);
+  }
+  for (const std::string& rule : rules) {
+    const auto f = stats.findings.find(rule);
+    const auto s = stats.suppressed.find(rule);
+    out << "rule " << rule << ": "
+        << (f == stats.findings.end() ? 0 : f->second) << " finding(s), "
+        << (s == stats.suppressed.end() ? 0 : s->second) << " suppressed\n";
+  }
+  return out.str();
+}
+
+void Analyzer::AddSource(std::string path, std::string contents) {
+  sources_.push_back(Source{std::move(path), std::move(contents)});
+}
+
+bool Analyzer::AddFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AddSource(path, buffer.str());
+  return true;
+}
+
+int Analyzer::AddTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string p = it->path().string();
+    if (p.size() >= 2 && (p.compare(p.size() - 2, 2, ".h") == 0 ||
+                          (p.size() >= 3 &&
+                           p.compare(p.size() - 3, 3, ".cc") == 0))) {
+      paths.push_back(p);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  int added = 0;
+  for (const std::string& p : paths) {
+    if (AddFile(p)) ++added;
+  }
+  return added;
+}
+
+std::vector<lint::Finding> Analyzer::Run(bool include_suppressed) {
+  std::vector<TranslationUnit> tus;
+  tus.reserve(sources_.size());
+  for (const Source& source : sources_) {
+    tus.push_back(ParseTu(source.path, source.contents));
+  }
+  stats_ = Stats{};
+  Analysis analysis(std::move(tus));
+  std::vector<lint::Finding> findings = analysis.Run(stats_);
+  if (!include_suppressed) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [](const lint::Finding& f) {
+                                    return f.suppressed;
+                                  }),
+                   findings.end());
+  }
+  return findings;
+}
+
+}  // namespace memfs::analyze

@@ -1,0 +1,105 @@
+// Semantic cross-TU static analyzer for the MemFS repository.
+//
+// Where tools/lint.{h,cc} checks one token window at a time, this analyzer
+// parses every registered translation unit into functions (tools/analyze/
+// parse.h), builds a symbol table and a cross-TU call graph resolved by
+// callee name, and runs four rule families over it:
+//
+//  lock-order          Collects Semaphore/BoundedPool `Acquire` and
+//                      HandoffGate `EnterWriter`/`Lock` acquisition sites per
+//                      function, propagates held-sets through the call graph,
+//                      and reports cycles in the global lock-acquisition-
+//                      order graph as potential deadlocks, naming the
+//                      acquisition sites on every edge of the cycle.
+//
+//  coroutine-safety    await-held-lock:  a co_await while an exclusive
+//                        HandoffGate::Lock section is open (the awaited work
+//                        can depend on the locked key).
+//                      held-reacquire:  acquiring a lock class already held
+//                        by the same function, directly or through a call
+//                        chain (self-deadlock / permit starvation).
+//                      locked-return:   a return/co_return while a lock
+//                        acquired by this function is still held.
+//                      blocking-call:   a wall-clock blocking primitive
+//                        (sleep/join/wait...) reachable from a coroutine
+//                        body through the call graph.
+//
+//  determinism         unordered-sink:  a range-for over an
+//                        std::unordered_map/set (or a function returning
+//                        one) whose loop body reaches an order-sensitive
+//                        sink — digest/trace/monitor emission, RPC issue,
+//                        event scheduling, or any co_await (suspension
+//                        order is part of the event stream).
+//                      pointer-order:   sorting a container of pointers with
+//                        the default comparator, or iterating a map/set
+//                        keyed by pointer — address order varies run to run.
+//
+//  status-flow         A Status assigned to a local variable that is never
+//                      mentioned again in the enclosing function
+//                      (assigned-but-never-checked); the scope-aware
+//                      complement of lint's token-level ignored-status.
+//
+// The analyzer shares the lexer and the `lint: allow(<rule>)` suppression
+// grammar with the linter (tools/lexer.h); suppressions are checked against
+// the finding's anchor line. Output reuses lint::Finding / lint::Format.
+//
+// The analysis is conservative and heuristic: no preprocessing, overload
+// resolution by simple name (a call edge goes to every function with the
+// callee's name), and linear held-set tracking inside bodies (no branch
+// sensitivity). DESIGN.md documents the false-positive policy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace memfs::analyze {
+
+struct Stats {
+  int files = 0;
+  int functions = 0;
+  int coroutines = 0;
+  int call_sites = 0;   // call expressions seen in bodies
+  int call_edges = 0;   // (call site, resolved target) pairs
+  int lock_classes = 0; // distinct lock identities
+  int lock_sites = 0;   // acquisition sites
+  int unordered_loops = 0;  // range-fors over unordered containers
+  std::map<std::string, int> findings;    // rule -> unsuppressed count
+  std::map<std::string, int> suppressed;  // rule -> suppressed count
+};
+
+// Multi-line human-readable stats block (the CLI's --stats output).
+std::string FormatStats(const Stats& stats);
+
+class Analyzer {
+ public:
+  // Registers in-memory source (tests).
+  void AddSource(std::string path, std::string contents);
+
+  // Reads one file from disk. Returns false when unreadable.
+  bool AddFile(const std::string& path);
+
+  // Recursively registers every .h/.cc file under `root` in sorted order.
+  // Returns the number of files added.
+  int AddTree(const std::string& root);
+
+  // Parses everything, runs every rule, and returns findings sorted by
+  // (file, line, rule). Suppressed findings are dropped unless
+  // `include_suppressed`. Also fills stats().
+  std::vector<lint::Finding> Run(bool include_suppressed = false);
+
+  // Valid after Run().
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Source {
+    std::string path;
+    std::string contents;
+  };
+  std::vector<Source> sources_;
+  Stats stats_;
+};
+
+}  // namespace memfs::analyze

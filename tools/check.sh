@@ -3,11 +3,16 @@
 #
 #   1. configure + build the default (Release-ish) tree in build/,
 #   2. run the full ctest suite (unit tests, lint, determinism gates),
-#   3. configure + build with -DMEMFS_SANITIZE=address,undefined in
+#   3. run the semantic analyzer (memfs_analyze) over the whole repo and
+#      fail on any unsuppressed finding,
+#   4. configure + build with -DMEMFS_SANITIZE=address,undefined in
 #      build-asan/ and re-run the determinism gates under the sanitizers
 #      (this includes the elastic join/drain rebalancing gate: same-seed
 #      runs with a mid-traffic join + drain must produce identical event
-#      digests with zero lost reads).
+#      digests with zero lost reads),
+#   5. configure + build with -DMEMFS_SANITIZE=thread in build-tsan/ and
+#      re-run the determinism gates under TSan (skipped with a notice when
+#      the toolchain has no libtsan).
 #
 # Usage: tools/check.sh [jobs]   (default: nproc)
 #
@@ -24,6 +29,10 @@ cmake --build "$root/build" -j "$jobs"
 echo "== tier 1: ctest =="
 ctest --test-dir "$root/build" --output-on-failure
 
+echo "== static analysis: memfs_analyze =="
+"$root/build/tools/memfs_analyze" --stats \
+  "$root/src" "$root/tools" "$root/bench" "$root/tests"
+
 echo "== sanitizers: configure + build (address,undefined) =="
 cmake -S "$root" -B "$root/build-asan" \
   -DMEMFS_SANITIZE=address,undefined >/dev/null
@@ -31,5 +40,20 @@ cmake --build "$root/build-asan" -j "$jobs"
 
 echo "== sanitizers: determinism gates =="
 ctest --test-dir "$root/build-asan" -L determinism --output-on-failure
+
+# TSan and ASan cannot live in one binary, so thread gets its own tree.
+# Probe first: some toolchains ship without libtsan.
+if printf 'int main(){return 0;}' | \
+   c++ -fsanitize=thread -x c++ - -o /tmp/memfs_tsan_probe 2>/dev/null; then
+  rm -f /tmp/memfs_tsan_probe
+  echo "== sanitizers: configure + build (thread) =="
+  cmake -S "$root" -B "$root/build-tsan" -DMEMFS_SANITIZE=thread >/dev/null
+  cmake --build "$root/build-tsan" -j "$jobs"
+
+  echo "== sanitizers: determinism gates under TSan =="
+  ctest --test-dir "$root/build-tsan" -L determinism --output-on-failure
+else
+  echo "== sanitizers: thread skipped (toolchain has no libtsan) =="
+fi
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,68 @@
+// Shared C++ lexer and `lint: allow(...)` suppression scanner for the MemFS
+// source tools.
+//
+// Two consumers build on this file:
+//
+//   * tools/lint.{h,cc}      — the token-level linter (`memfs_lint`),
+//   * tools/analyze/         — the semantic cross-TU analyzer
+//                              (`memfs_analyze`).
+//
+// Both see the same token stream and, critically, the same suppression
+// grammar: a comment containing `lint: allow(<rule>[, <rule>...])`
+// suppresses findings of those rules on the comment's final line and on the
+// following line, for *either* tool. The known-rule registry lives here too,
+// so the suppression audit (lint's `allow-unknown` rule) accepts analyzer
+// rule names and vice versa, and its finding message can name the full valid
+// set.
+//
+// The lexer handles comments, string/char literals, raw strings and
+// preprocessor lines (with continuations); it does not preprocess, expand
+// macros, or type-check.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace memfs::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kLiteral, kPunct, kPreprocessor };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+// line -> rule names suppressed on that line.
+using SuppressionMap = std::unordered_map<int, std::set<std::string>>;
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  // Every `lint: allow(...)` site as written, one (line, rule) pair per rule
+  // named — the raw material for the suppression audit.
+  std::vector<std::pair<int, std::string>> suppression_sites;
+  bool has_pragma_once = false;
+};
+
+bool IsIdentStart(char c);
+bool IsIdentChar(char c);
+
+// Lexes `text` into tokens, collecting suppression comments along the way.
+TokenizedFile Tokenize(const std::string& text);
+
+// True when `rule` is suppressed on `line`.
+bool IsSuppressed(const SuppressionMap& suppressions, int line,
+                  const std::string& rule);
+
+// Every rule name either tool implements (lint's token rules plus the
+// analyzer's semantic rules). A suppression naming anything else is dead
+// weight — the audit flags it.
+const std::set<std::string>& KnownRuleNames();
+
+// The registry as a single "a, b, c" string for finding messages.
+const std::string& KnownRuleList();
+
+}  // namespace memfs::lint
