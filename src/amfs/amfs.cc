@@ -450,30 +450,200 @@ sim::Future<Result<std::vector<FileInfo>>> Amfs::ReadDir(VfsContext ctx,
                                                          std::string path) {
   sim::Promise<Result<std::vector<FileInfo>>> done(sim_);
   auto future = done.GetFuture();
+  // Paged readback: each round trip carries one sorted page, so no single
+  // response scales with the directory size (the fig06 apples-to-apples fix).
   [](Amfs* self, VfsContext context, std::string p,
      sim::Promise<Result<std::vector<FileInfo>>> promise) -> sim::Task {
-    co_await self->fuse_.Enter(context.node, context.process);
-    sim::Promise<Result<MetaRecord>> meta_promise(self->sim_);
-    auto meta_future = meta_promise.GetFuture();
-    self->QueryMeta(context, p, std::move(meta_promise));
-    Result<MetaRecord> meta = co_await meta_future;
-    if (!meta.ok()) {
-      promise.Set(meta.status());
-      co_return;
-    }
-    if (!meta->is_directory) {
-      promise.Set(status::NotDirectory(p));
-      co_return;
-    }
     std::vector<FileInfo> infos;
-    infos.reserve(meta->entries.size());
-    for (const auto& name : meta->entries) {
-      FileInfo info;
-      info.name = name;
-      infos.push_back(std::move(info));
+    fs::DirCursor cursor;
+    while (true) {
+      auto page = co_await self->ReadDirPage(context, p, cursor, 0);
+      if (!page.ok()) {
+        promise.Set(page.status());
+        co_return;
+      }
+      for (auto& info : page->entries) infos.push_back(std::move(info));
+      if (!page->more) break;
+      cursor = page->next;
     }
     promise.Set(std::move(infos));
   }(this, ctx, std::move(path), std::move(done));
+  return future;
+}
+
+sim::Future<Result<fs::DirPage>> Amfs::ReadDirPage(VfsContext ctx,
+                                                   std::string path,
+                                                   fs::DirCursor cursor,
+                                                   std::uint32_t limit) {
+  sim::Promise<Result<fs::DirPage>> done(sim_);
+  auto future = done.GetFuture();
+  DoReadDirPage(ctx, std::move(path), cursor, limit, std::move(done));
+  return future;
+}
+
+sim::Task Amfs::DoReadDirPage(VfsContext ctx, std::string path,
+                              fs::DirCursor cursor, std::uint32_t limit,
+                              sim::Promise<Result<fs::DirPage>> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  if (cursor.shard > 1) {
+    done.Set(status::InvalidArgument("AMFS cursors have one shard"));
+    co_return;
+  }
+  const std::uint32_t page_limit = limit > 0 ? limit : config_.readdir_page;
+  const net::NodeId home = MetaServerFor(path);
+  const bool local_answer =
+      home == ctx.node || stores_[ctx.node]->Exists(path);
+  if (!local_answer) {
+    co_await network_.Transfer(ctx.node, home, 64);  // page request
+    co_await MetaService(home);
+  } else {
+    co_await sim_.Delay(config_.metadata_local);
+  }
+  auto& shard = metadata_[home];
+  auto it = shard.find(path);
+  if (it == shard.end() || !it->second.is_directory) {
+    const Status failure = it == shard.end()
+                               ? status::NotFound(path)
+                               : status::NotDirectory(path);
+    if (!local_answer) co_await network_.Transfer(home, ctx.node, 64);
+    done.Set(failure);
+    co_return;
+  }
+  std::vector<std::string> names = it->second.entries;
+  std::sort(names.begin(), names.end());
+  fs::DirPage page;
+  std::uint64_t offset = cursor.shard == 1 ? names.size() : cursor.offset;
+  std::uint64_t wire_bytes = 16;  // page framing
+  while (offset < names.size() && page.entries.size() < page_limit) {
+    wire_bytes += names[offset].size() + 16;
+    FileInfo info;
+    info.name = std::move(names[offset]);
+    page.entries.push_back(std::move(info));
+    ++offset;
+  }
+  page.more = offset < names.size();
+  page.next.shard = page.more ? 0 : 1;
+  page.next.offset = page.more ? offset : 0;
+  if (!local_answer) {
+    // Only the page crosses the wire — the response no longer carries the
+    // whole listing.
+    co_await network_.Transfer(home, ctx.node, wire_bytes);
+  }
+  done.Set(std::move(page));
+}
+
+sim::Future<Status> Amfs::Rename(VfsContext ctx, std::string from,
+                                 std::string to) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoRename(ctx, std::move(from), std::move(to), std::move(done));
+  return future;
+}
+
+sim::Task Amfs::DoRename(VfsContext ctx, std::string from, std::string to,
+                         sim::Promise<Status> done) {
+  co_await fuse_.Enter(ctx.node, ctx.process);
+  if (!fs::path::IsNormalized(from) || !fs::path::IsNormalized(to) ||
+      from == "/" || to == "/" || from == to) {
+    done.Set(status::InvalidArgument("bad rename paths"));
+    co_return;
+  }
+  const net::NodeId from_home = MetaServerFor(from);
+  if (from_home != ctx.node) {
+    co_await network_.Transfer(ctx.node, from_home, 128);
+  }
+  co_await MetaService(from_home);
+  {
+    auto& shard = metadata_[from_home];
+    auto it = shard.find(from);
+    if (it == shard.end()) {
+      done.Set(status::NotFound(from));
+      co_return;
+    }
+    if (it->second.is_directory) {
+      done.Set(status::Permission("directory rename not supported by AMFS"));
+      co_return;
+    }
+    if (!it->second.sealed) {
+      done.Set(status::Permission("file still open for writing: " + from));
+      co_return;
+    }
+  }
+  const net::NodeId to_home = MetaServerFor(to);
+  if (to_home != ctx.node) {
+    co_await network_.Transfer(ctx.node, to_home, 128);
+  }
+  co_await MetaService(to_home);
+  if (metadata_[to_home].contains(to)) {
+    done.Set(status::Exists(to));
+    co_return;
+  }
+  const std::string to_parent = fs::path::Parent(to);
+  auto parent_meta = FindMeta(to_parent);
+  if (!parent_meta.ok() || !(*parent_meta)->is_directory) {
+    done.Set(status::NotFound("parent directory: " + to_parent));
+    co_return;
+  }
+  // Commit: move the record between homes (re-found — the shard may have
+  // changed across the service waits), then re-key every stored copy
+  // locally. AMFS records are path-keyed, so a rename must move bytes.
+  {
+    auto& shard = metadata_[from_home];
+    auto it = shard.find(from);
+    if (it == shard.end()) {
+      done.Set(status::NotFound(from));
+      co_return;
+    }
+    MetaRecord moved = std::move(it->second);
+    shard.erase(it);
+    metadata_[to_home].emplace(to, std::move(moved));
+  }
+  for (auto& store : stores_) {
+    if (!store->Exists(from)) continue;
+    auto value = store->Get(from);
+    if (!value.ok()) continue;
+    // lint: allow(ignored-status) the existence check above makes these
+    // local re-key steps infallible
+    (void)store->Delete(from);
+    // lint: allow(ignored-status) re-keying frees before storing, so
+    // capacity cannot fail
+    (void)store->Set(to, std::move(value.value()));
+  }
+  // Parent listings: tombstone the old name, add the new one.
+  const std::string from_parent = fs::path::Parent(from);
+  co_await DirUpdateService(MetaServerFor(from_parent));
+  {
+    auto& parent_shard = metadata_[MetaServerFor(from_parent)];
+    auto parent_it = parent_shard.find(from_parent);
+    if (parent_it != parent_shard.end()) {
+      auto& entries = parent_it->second.entries;
+      entries.erase(std::remove(entries.begin(), entries.end(),
+                                fs::path::Basename(from)),
+                    entries.end());
+    }
+  }
+  co_await DirUpdateService(MetaServerFor(to_parent));
+  {
+    auto& parent_shard = metadata_[MetaServerFor(to_parent)];
+    auto parent_it = parent_shard.find(to_parent);
+    if (parent_it != parent_shard.end()) {
+      parent_it->second.entries.push_back(fs::path::Basename(to));
+    }
+  }
+  done.Set(Status::Ok());
+}
+
+sim::Future<Status> Amfs::Link(VfsContext ctx, std::string existing,
+                               std::string link) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  (void)existing;
+  (void)link;
+  [](Amfs* self, VfsContext context, sim::Promise<Status> promise)
+      -> sim::Task {
+    co_await self->fuse_.Enter(context.node, context.process);
+    promise.Set(status::Permission("hard links not supported by AMFS"));
+  }(this, ctx, std::move(done));
   return future;
 }
 

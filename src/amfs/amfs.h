@@ -63,6 +63,11 @@ struct AmfsConfig {
   // Non-uniform metadata placement (additive byte-sum hash); matches the
   // cited observation that AMFS metadata distribution is skewed.
   bool skewed_metadata = true;
+  // Entries per ReadDirPage response. Listings are served in sorted pages
+  // whose response transfer is proportional to the page's serialized size —
+  // not to the whole directory — so readdir cost no longer scales with
+  // directory size per RPC.
+  std::uint32_t readdir_page = 256;
   // Per-node storage budget (node memory minus the application reservation).
   std::uint64_t node_memory_limit = units::GiB(20);
   fs::FuseConfig fuse;
@@ -91,6 +96,20 @@ class Amfs final : public fs::Vfs {
                                          std::string path) override;
   sim::Future<Status> Unlink(fs::VfsContext ctx, std::string path) override;
   sim::Future<Status> Rmdir(fs::VfsContext ctx, std::string path) override;
+  // Sorted pages out of the home shard's listing; the response transfer
+  // carries only the page. Cursors use shard 0 (AMFS keeps one record per
+  // directory).
+  sim::Future<Result<fs::DirPage>> ReadDirPage(fs::VfsContext ctx,
+                                               std::string path,
+                                               fs::DirCursor cursor,
+                                               std::uint32_t limit) override;
+  // Files only (a whole-file move between metadata homes plus a local
+  // re-key of every replica); directory renames fail with PERMISSION.
+  sim::Future<Status> Rename(fs::VfsContext ctx, std::string from,
+                             std::string to) override;
+  // AMFS records are path-keyed: hard links are unsupported (PERMISSION).
+  sim::Future<Status> Link(fs::VfsContext ctx, std::string existing,
+                           std::string link) override;
 
   // --- AMFS-specific surface used by the AMFS Shell scheduler and benches --
 
@@ -163,6 +182,11 @@ class Amfs final : public fs::Vfs {
                     sim::Promise<Status> done);
   sim::Task DoMkdir(fs::VfsContext ctx, std::string path,
                     sim::Promise<Status> done);
+  sim::Task DoReadDirPage(fs::VfsContext ctx, std::string path,
+                          fs::DirCursor cursor, std::uint32_t limit,
+                          sim::Promise<Result<fs::DirPage>> done);
+  sim::Task DoRename(fs::VfsContext ctx, std::string from, std::string to,
+                     sim::Promise<Status> done);
   sim::Task DoMulticast(fs::VfsContext ctx, std::string path,
                         sim::Promise<Status> done);
 

@@ -32,14 +32,99 @@ MemFs::MemFs(sim::Simulation& sim, net::Network& network,
           &config_.metrics->Gauge(InstanceGaugeName("fs.dirty_bytes", node)));
     }
   }
-  // Bootstrap the root directory record directly into its home server (and
-  // every replica); this happens at deployment time, before any simulated
-  // traffic.
+  // Bootstrap the root directory directly into its home server (and every
+  // replica); this happens at deployment time, before any simulated traffic.
+  if (config_.metadata == mds::MetadataMode::kSharded) {
+    meta_store_ = std::make_unique<MetaStore>(*this);
+    meta_client_ = std::make_unique<mds::Client>(sim_, *meta_store_,
+                                                 config_.meta,
+                                                 config_.metrics);
+    mds::InodeRecord root;
+    root.kind = mds::InodeKind::kDirectory;
+    root.sealed = true;
+    SeedKey(mds::InodeKey(mds::kRootIno), mds::EncodeInode(root));
+  } else {
+    for (std::uint32_t r = 0; r < ReplicaCount(0); ++r) {
+      const Status status = storage_.server(ReplicaServer(0, "/", r))
+                                .Set("/", meta::DirHeader());
+      assert(status.ok());
+      (void)status;
+    }
+  }
+}
+
+void MemFs::SeedKey(const std::string& key, const Bytes& value) {
   for (std::uint32_t r = 0; r < ReplicaCount(0); ++r) {
     const Status status =
-        storage_.server(ReplicaServer(0, "/", r)).Set("/", meta::DirHeader());
+        storage_.server(ReplicaServer(0, key, r)).Set(key, value);
     assert(status.ok());
     (void)status;
+  }
+}
+
+void MemFs::SeedAppendKey(const std::string& key, const Bytes& header,
+                          const Bytes& event) {
+  for (std::uint32_t r = 0; r < ReplicaCount(0); ++r) {
+    auto& server = storage_.server(ReplicaServer(0, key, r));
+    Status status = server.Append(key, event);
+    if (status.code() == ErrorCode::kNotFound) {
+      Bytes blob = header;
+      blob.Append(event);
+      status = server.Set(key, blob);
+    }
+    assert(status.ok());
+    (void)status;
+  }
+}
+
+void MemFs::BulkLoadDirectory(const std::string& dir,
+                              const std::string& prefix,
+                              std::uint64_t count) {
+  assert(meta_client_ != nullptr && "bulk loading requires sharded metadata");
+  assert(path::IsNormalized(dir) && dir != "/" && path::Parent(dir) == "/");
+  const mds::MetaConfig& mc = config_.meta;
+  mds::Client* client = meta_client_.get();
+
+  // The directory itself: inode, dentry under the root, root index event.
+  const mds::Ino dir_ino = client->AllocateIno();
+  mds::InodeRecord dir_rec;
+  dir_rec.kind = mds::InodeKind::kDirectory;
+  dir_rec.sealed = true;
+  SeedKey(mds::InodeKey(dir_ino), mds::EncodeInode(dir_rec));
+  const std::string dir_name = path::Basename(dir);
+  SeedKey(mds::DentryKey(mds::kRootIno, dir_name),
+          mds::EncodeDentry({dir_ino, mds::InodeKind::kDirectory}));
+  const std::uint32_t root_shard =
+      mds::ShardOfName(mds::kRootIno, dir_name, mc.dir_shards, mc.hash_kind);
+  SeedAppendKey(mds::IndexKey(mds::kRootIno, root_shard), mds::IndexHeader(),
+                mds::IndexEvent(dir_name, false));
+  client->RecordSeededDentries(root_shard, 1);
+
+  // The children: sealed zero-length files; index events accumulate per
+  // token range and land as one blob each.
+  std::vector<std::string> blobs(mc.dir_shards, "X\n");
+  std::vector<std::int64_t> counts(mc.dir_shards, 0);
+  mds::InodeRecord file_rec;
+  file_rec.sealed = true;
+  file_rec.epoch = current_epoch();
+  const Bytes encoded_file = mds::EncodeInode(file_rec);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = prefix + std::to_string(i);
+    const mds::Ino ino = client->AllocateIno();
+    SeedKey(mds::InodeKey(ino), encoded_file);
+    SeedKey(mds::DentryKey(dir_ino, name),
+            mds::EncodeDentry({ino, mds::InodeKind::kFile}));
+    const std::uint32_t shard =
+        mds::ShardOfName(dir_ino, name, mc.dir_shards, mc.hash_kind);
+    blobs[shard].push_back('+');
+    blobs[shard].append(name);
+    blobs[shard].push_back('\n');
+    ++counts[shard];
+  }
+  for (std::uint32_t shard = 0; shard < mc.dir_shards; ++shard) {
+    if (counts[shard] == 0) continue;
+    SeedKey(mds::IndexKey(dir_ino, shard), Bytes::Copy(blobs[shard]));
+    client->RecordSeededDentries(shard, counts[shard]);
   }
 }
 
@@ -278,6 +363,37 @@ sim::Future<Status> MemFs::ReplicatedAdd(std::uint32_t epoch, net::NodeId node,
   return future;
 }
 
+sim::Task MemFs::RunMetaAdd(net::NodeId node, std::string key, Bytes value,
+                            sim::Promise<Status> done,
+                            trace::TraceContext trace) {
+  Status added = co_await ReplicatedAdd(0, node, key, value, trace);
+  if (!added.ok()) {
+    done.Set(std::move(added));
+    co_return;
+  }
+  // The accepted record fans out to the rest of the chain so every replica
+  // can answer failover reads and take APPENDs; a replica that is down stays
+  // empty until read repair finds it (same window legacy mkdir accepts).
+  const kv::Membership::WriteRoute route = WriteRouteFor(0, key);
+  for (std::size_t r = 1; r < route.primary.size(); ++r) {
+    // lint: allow(ignored-status) best-effort replica install
+    (void)co_await sched_.Set(node, route.primary[r], key, value, trace);
+  }
+  for (std::uint32_t server : route.secondary) {
+    // lint: allow(ignored-status) best-effort dual-commit
+    (void)co_await sched_.Set(node, server, key, value, trace);
+  }
+  done.Set(Status::Ok());
+}
+
+sim::Future<Status> MemFs::MetaAdd(net::NodeId node, std::string key,
+                                   Bytes value, trace::TraceContext trace) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  RunMetaAdd(node, std::move(key), std::move(value), std::move(done), trace);
+  return future;
+}
+
 sim::Task MemFs::RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                      std::string key,
                                      sim::Promise<Status> done,
@@ -460,6 +576,32 @@ Status LookupError(const Result<Bytes>& record, const std::string& path) {
 
 }  // namespace
 
+FileHandle MemFs::InstallHandle(std::string path, std::string ident,
+                                mds::Ino ino, net::NodeId node, bool writing,
+                                std::uint32_t epoch, std::uint64_t size) {
+  auto file = std::make_unique<OpenFile>();
+  file->path = std::move(path);
+  file->ident = std::move(ident);
+  file->ino = ino;
+  file->node = node;
+  file->writing = writing;
+  file->epoch = epoch;
+  if (writing) {
+    const auto capacity_stripes = std::max<std::uint64_t>(
+        config_.write_buffer_bytes / config_.stripe_size, 1);
+    file->tokens = std::make_unique<sim::Semaphore>(sim_, capacity_stripes);
+    file->inflight = std::make_unique<sim::WaitGroup>(sim_);
+    ++stats_.files_created;
+  } else {
+    file->size = size;
+    ++stats_.files_opened;
+  }
+  const FileHandle handle = next_handle_++;
+  handles_.emplace(handle, std::move(file));
+  GaugeAdd(OpenFilesGauge(node), 1);
+  return handle;
+}
+
 Result<MemFs::OpenFile*> MemFs::FindHandle(FileHandle handle, bool writing) {
   auto it = handles_.find(handle);
   if (it == handles_.end()) return status::BadHandle();
@@ -499,6 +641,20 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
     done.Set(status::InvalidArgument("bad path"));
     co_return;
   }
+  if (meta_client_ != nullptr) {
+    auto created =
+        co_await meta_client_->CreateFile(ctx.node, path, current_epoch(),
+                                          tctx);
+    if (!created.ok()) {
+      done.Set(created.status());
+      co_return;
+    }
+    // Stripes key on the ino, not the path: rename moves the dentry only.
+    done.Set(InstallHandle(std::move(path), mds::InodeKey(created->ino),
+                           created->ino, ctx.node, /*writing=*/true,
+                           current_epoch(), 0));
+    co_return;
+  }
   // Register an unsealed file record; ADD makes concurrent double-create
   // lose deterministically (write-once implies a single writer).
   Status added = co_await ReplicatedAdd(
@@ -522,22 +678,9 @@ sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
     done.Set(status::NotFound("parent directory: " + parent));
     co_return;
   }
-
-  auto file = std::make_unique<OpenFile>();
-  file->path = std::move(path);
-  file->node = ctx.node;
-  file->writing = true;
-  file->epoch = current_epoch();
-  const auto capacity_stripes = std::max<std::uint64_t>(
-      config_.write_buffer_bytes / config_.stripe_size, 1);
-  file->tokens = std::make_unique<sim::Semaphore>(sim_, capacity_stripes);
-  file->inflight = std::make_unique<sim::WaitGroup>(sim_);
-
-  const FileHandle handle = next_handle_++;
-  handles_.emplace(handle, std::move(file));
-  ++stats_.files_created;
-  GaugeAdd(OpenFilesGauge(ctx.node), 1);
-  done.Set(handle);
+  std::string ident = path;
+  done.Set(InstallHandle(std::move(path), std::move(ident), 0, ctx.node,
+                         /*writing=*/true, current_epoch(), 0));
 }
 
 sim::Future<Status> MemFs::Write(VfsContext ctx, FileHandle handle,
@@ -594,7 +737,7 @@ sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
 sim::Task MemFs::SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
                               sim::VoidPromise accepted,
                               trace::TraceContext trace) {
-  const std::string key = Striper::StripeKey(file->path, index);
+  const std::string key = Striper::StripeKey(file->ident, index);
   if (config_.io_threads == 0) {
     // No buffering (Fig. 3b baseline): the write call itself carries the
     // transfer.
@@ -721,9 +864,15 @@ sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
     if (result.ok()) {
       // Seal: replace the unsealed record with the final size (§3.2.4),
       // on every replica.
-      result = co_await ReplicatedSet(
-          0, ctx.node, file->path,
-          meta::EncodeFile({file->written, true, file->epoch}), tctx);
+      if (meta_client_ != nullptr) {
+        result = co_await meta_client_->SealFile(ctx.node, file->ino,
+                                                 file->written, file->epoch,
+                                                 tctx);
+      } else {
+        result = co_await ReplicatedSet(
+            0, ctx.node, file->path,
+            meta::EncodeFile({file->written, true, file->epoch}), tctx);
+      }
     }
   }
   handles_.erase(handle);
@@ -754,6 +903,29 @@ sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
     trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
     co_await fuse_.Enter(ctx.node, ctx.process);
   }
+  if (meta_client_ != nullptr) {
+    auto attr = co_await meta_client_->Resolve(ctx.node, path, tctx);
+    if (!attr.ok()) {
+      done.Set(attr.status());
+      co_return;
+    }
+    if (attr->rec.kind == mds::InodeKind::kDirectory) {
+      done.Set(status::IsDirectory(path));
+      co_return;
+    }
+    if (attr->rec.epoch >= epochs_.size()) {
+      done.Set(status::Internal("file from unknown ring epoch: " + path));
+      co_return;
+    }
+    if (!attr->rec.sealed) {
+      done.Set(status::Permission("file still open for writing: " + path));
+      co_return;
+    }
+    done.Set(InstallHandle(std::move(path), mds::InodeKey(attr->ino),
+                           attr->ino, ctx.node, /*writing=*/false,
+                           attr->rec.epoch, attr->rec.size));
+    co_return;
+  }
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
@@ -776,19 +948,10 @@ sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
     done.Set(status::Permission("file still open for writing: " + path));
     co_return;
   }
-
-  auto file = std::make_unique<OpenFile>();
-  file->path = std::move(path);
-  file->node = ctx.node;
-  file->writing = false;
-  file->epoch = decoded->file.epoch;
-  file->size = decoded->file.size;
-
-  const FileHandle handle = next_handle_++;
-  handles_.emplace(handle, std::move(file));
-  ++stats_.files_opened;
-  GaugeAdd(OpenFilesGauge(ctx.node), 1);
-  done.Set(handle);
+  std::string ident = path;
+  done.Set(InstallHandle(std::move(path), std::move(ident), 0, ctx.node,
+                         /*writing=*/false, decoded->file.epoch,
+                         decoded->file.size));
 }
 
 sim::Future<Result<Bytes>> MemFs::Read(VfsContext ctx, FileHandle handle,
@@ -916,7 +1079,7 @@ sim::Future<Result<Bytes>> MemFs::EnsureStripe(OpenFile* file,
   }
 
   FetchStripe(file->node, file->epoch,
-              Striper::StripeKey(file->path, index), std::move(promise),
+              Striper::StripeKey(file->ident, index), std::move(promise),
               trace);
   return future;
 }
@@ -962,6 +1125,10 @@ sim::Task MemFs::DoMkdir(VfsContext ctx, std::string path,
   }
   if (!path::IsNormalized(path) || path == "/") {
     done.Set(status::InvalidArgument("bad path"));
+    co_return;
+  }
+  if (meta_client_ != nullptr) {
+    done.Set(co_await meta_client_->Mkdir(ctx.node, std::move(path), tctx));
     co_return;
   }
   Status added =
@@ -1010,6 +1177,47 @@ sim::Task MemFs::DoReadDir(VfsContext ctx, std::string path,
     trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
     co_await fuse_.Enter(ctx.node, ctx.process);
   }
+  if (meta_client_ != nullptr) {
+    auto attr = co_await meta_client_->Resolve(ctx.node, path, tctx);
+    if (!attr.ok()) {
+      done.Set(attr.status());
+      co_return;
+    }
+    if (attr->rec.kind != mds::InodeKind::kDirectory) {
+      done.Set(status::NotDirectory(path));
+      co_return;
+    }
+    // Page through the token ranges; each iteration reads bounded blobs, so
+    // no single RPC carries the whole directory even here.
+    std::vector<FileInfo> infos;
+    std::uint32_t shard = 0;
+    std::uint64_t offset = 0;
+    while (true) {
+      auto page = co_await meta_client_->ReadDirPage(
+          ctx.node, attr->ino, shard, offset, config_.meta.readdir_page,
+          tctx);
+      if (!page.ok()) {
+        done.Set(page.status());
+        co_return;
+      }
+      for (auto& name : page->names) {
+        FileInfo info;
+        info.name = std::move(name);
+        infos.push_back(std::move(info));
+      }
+      if (!page->more) break;
+      shard = page->next_shard;
+      offset = page->next_offset;
+    }
+    // Pages arrive in (shard, name) order; the full listing is presented
+    // globally sorted, matching the append-log arm byte for byte.
+    std::sort(infos.begin(), infos.end(),
+              [](const FileInfo& a, const FileInfo& b) {
+                return a.name < b.name;
+              });
+    done.Set(std::move(infos));
+    co_return;
+  }
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
@@ -1050,6 +1258,23 @@ sim::Task MemFs::DoStat(VfsContext ctx, std::string path,
     trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
     co_await fuse_.Enter(ctx.node, ctx.process);
   }
+  if (meta_client_ != nullptr) {
+    auto attr = co_await meta_client_->Resolve(ctx.node, path, tctx);
+    if (!attr.ok()) {
+      done.Set(attr.status());
+      co_return;
+    }
+    FileInfo stat_info;
+    stat_info.name = path::Basename(path);
+    if (attr->rec.kind == mds::InodeKind::kDirectory) {
+      stat_info.is_directory = true;
+    } else {
+      stat_info.size = attr->rec.size;
+      stat_info.sealed = attr->rec.sealed;
+    }
+    done.Set(std::move(stat_info));
+    co_return;
+  }
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
@@ -1089,6 +1314,10 @@ sim::Task MemFs::DoRmdir(VfsContext ctx, std::string path,
   }
   if (!path::IsNormalized(path) || path == "/") {
     done.Set(status::InvalidArgument("bad path"));
+    co_return;
+  }
+  if (meta_client_ != nullptr) {
+    done.Set(co_await meta_client_->Rmdir(ctx.node, std::move(path), tctx));
     co_return;
   }
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
@@ -1139,6 +1368,26 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
     trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
     co_await fuse_.Enter(ctx.node, ctx.process);
   }
+  if (meta_client_ != nullptr) {
+    auto outcome = co_await meta_client_->Unlink(ctx.node, path, tctx);
+    if (!outcome.ok()) {
+      done.Set(outcome.status());
+      co_return;
+    }
+    if (outcome->removed_inode) {
+      // Last link gone: reclaim the stripes, keyed by the ino under the
+      // epoch recorded in the inode (never moved by any rename).
+      const std::uint32_t stripe_epoch =
+          outcome->rec.epoch < epochs_.size() ? outcome->rec.epoch : 0;
+      sim::VoidPromise reclaimed(sim_);
+      auto reclaimed_future = reclaimed.GetFuture();
+      ReclaimStripes(ctx.node, mds::InodeKey(outcome->ino), stripe_epoch,
+                     outcome->rec.size, std::move(reclaimed), tctx);
+      co_await reclaimed_future;
+    }
+    done.Set(Status::Ok());
+    co_return;
+  }
   Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
   if (!record.ok()) {
     done.Set(LookupError(record, path));
@@ -1187,6 +1436,183 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
   }
   co_await wg.Wait();
   done.Set(Status::Ok());
+}
+
+sim::Task MemFs::ReclaimStripes(net::NodeId node, std::string ident,
+                                std::uint32_t epoch, std::uint64_t size,
+                                sim::VoidPromise reclaimed,
+                                trace::TraceContext trace) {
+  const std::uint32_t stripes = striper_.StripeCount(size);
+  sim::WaitGroup wg(sim_);
+  for (std::uint32_t i = 0; i < stripes; ++i) {
+    wg.Add();
+    auto deletion = ReplicatedDelete(epoch, node,
+                                     Striper::StripeKey(ident, i), trace);
+    [](sim::Future<Status> f, sim::WaitGroup& group) -> sim::Task {
+      co_await f;
+      group.Done();
+    }(std::move(deletion), wg);
+  }
+  co_await wg.Wait();
+  reclaimed.Set(sim::Done{});
+}
+
+// ---------------------------------------------------------------------------
+// Paged enumeration, rename, hard links
+
+sim::Future<Result<DirPage>> MemFs::ReadDirPage(VfsContext ctx,
+                                                std::string path,
+                                                DirCursor cursor,
+                                                std::uint32_t limit) {
+  sim::Promise<Result<DirPage>> done(sim_);
+  auto future = done.GetFuture();
+  DoReadDirPage(ctx, std::move(path), cursor, limit, std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoReadDirPage(VfsContext ctx, std::string path,
+                               DirCursor cursor, std::uint32_t limit,
+                               sim::Promise<Result<DirPage>> done) {
+  trace::ScopedSpan op_span(ctx.trace, "vfs.readdir_page", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "path", path);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  const std::uint32_t page_limit =
+      limit > 0 ? limit : config_.meta.readdir_page;
+  if (meta_client_ != nullptr) {
+    auto attr = co_await meta_client_->Resolve(ctx.node, path, tctx);
+    if (!attr.ok()) {
+      done.Set(attr.status());
+      co_return;
+    }
+    if (attr->rec.kind != mds::InodeKind::kDirectory) {
+      done.Set(status::NotDirectory(path));
+      co_return;
+    }
+    auto result = co_await meta_client_->ReadDirPage(
+        ctx.node, attr->ino, cursor.shard, cursor.offset, page_limit, tctx);
+    if (!result.ok()) {
+      done.Set(result.status());
+      co_return;
+    }
+    DirPage page;
+    page.entries.reserve(result->names.size());
+    for (auto& name : result->names) {
+      FileInfo info;
+      info.name = std::move(name);
+      page.entries.push_back(std::move(info));
+    }
+    page.next.shard = result->next_shard;
+    page.next.offset = result->next_offset;
+    page.more = result->more;
+    done.Set(std::move(page));
+    co_return;
+  }
+  // Legacy protocol: one directory = one record, so the page is a sorted
+  // slice of the folded log (shard is always 0). The whole log still crosses
+  // the wire — the limitation this PR's sharded mode removes.
+  if (cursor.shard > 0) {
+    done.Set(status::InvalidArgument("append_log cursors have one shard"));
+    co_return;
+  }
+  Result<Bytes> record = co_await FailoverGet(0, ctx.node, path, tctx);
+  if (!record.ok()) {
+    done.Set(LookupError(record, path));
+    co_return;
+  }
+  auto decoded = meta::Decode(record.value());
+  if (!decoded.ok()) {
+    done.Set(decoded.status());
+    co_return;
+  }
+  if (decoded->kind != meta::Kind::kDirectory) {
+    done.Set(status::NotDirectory(path));
+    co_return;
+  }
+  std::sort(decoded->entries.begin(), decoded->entries.end());
+  DirPage page;
+  std::uint64_t offset = cursor.offset;
+  while (offset < decoded->entries.size() &&
+         page.entries.size() < page_limit) {
+    FileInfo info;
+    info.name = std::move(decoded->entries[offset]);
+    page.entries.push_back(std::move(info));
+    ++offset;
+  }
+  page.next.shard = offset < decoded->entries.size() ? 0 : 1;
+  page.next.offset = offset < decoded->entries.size() ? offset : 0;
+  page.more = offset < decoded->entries.size();
+  done.Set(std::move(page));
+}
+
+sim::Future<Status> MemFs::Rename(VfsContext ctx, std::string from,
+                                  std::string to) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoRename(ctx, std::move(from), std::move(to), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoRename(VfsContext ctx, std::string from, std::string to,
+                          sim::Promise<Status> done) {
+  trace::ScopedSpan op_span(ctx.trace, "vfs.rename", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "from", from);
+  trace::Annotate(tctx, "to", to);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  if (!path::IsNormalized(from) || !path::IsNormalized(to) || from == "/" ||
+      to == "/" || from == to) {
+    done.Set(status::InvalidArgument("bad rename paths"));
+    co_return;
+  }
+  if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
+      to[from.size()] == '/') {
+    done.Set(status::InvalidArgument("cannot move a directory under itself"));
+    co_return;
+  }
+  if (meta_client_ == nullptr) {
+    done.Set(status::Permission("rename requires sharded metadata"));
+    co_return;
+  }
+  done.Set(co_await meta_client_->Rename(ctx.node, std::move(from),
+                                         std::move(to), tctx));
+}
+
+sim::Future<Status> MemFs::Link(VfsContext ctx, std::string existing,
+                                std::string link) {
+  sim::Promise<Status> done(sim_);
+  auto future = done.GetFuture();
+  DoLink(ctx, std::move(existing), std::move(link), std::move(done));
+  return future;
+}
+
+sim::Task MemFs::DoLink(VfsContext ctx, std::string existing,
+                        std::string link, sim::Promise<Status> done) {
+  trace::ScopedSpan op_span(ctx.trace, "vfs.link", "vfs");
+  const trace::TraceContext tctx = op_span.context();
+  trace::Annotate(tctx, "existing", existing);
+  trace::Annotate(tctx, "link", link);
+  {
+    trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
+    co_await fuse_.Enter(ctx.node, ctx.process);
+  }
+  if (!path::IsNormalized(existing) || !path::IsNormalized(link) ||
+      existing == "/" || link == "/" || existing == link) {
+    done.Set(status::InvalidArgument("bad link paths"));
+    co_return;
+  }
+  if (meta_client_ == nullptr) {
+    done.Set(status::Permission("hard links require sharded metadata"));
+    co_return;
+  }
+  done.Set(co_await meta_client_->Link(ctx.node, std::move(existing),
+                                       std::move(link), tctx));
 }
 
 }  // namespace memfs::fs

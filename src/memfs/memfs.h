@@ -36,6 +36,8 @@
 #include "kvstore/membership.h"
 #include "memfs/fuse.h"
 #include "memfs/metadata.h"
+#include "meta/client.h"
+#include "meta/meta.h"
 #include "memfs/striper.h"
 #include "memfs/vfs.h"
 #include "sim/future.h"
@@ -45,6 +47,10 @@
 #include "sim/task.h"
 
 namespace memfs::fs {
+
+// The sharded metadata service (distinct from fs::meta, the paper's
+// path-keyed record codec).
+namespace mds = ::memfs::meta;
 
 struct MemFsConfig {
   // 512 KB stripes achieve the best write bandwidth (Fig. 3a).
@@ -81,6 +87,15 @@ struct MemFsConfig {
   // NOT_FOUND immediately; only reads blocked by unreachable replicas are
   // retried, with an escalating delay between passes.
   std::uint32_t read_chain_attempts = 3;
+  // Namespace organization. `append_log` is the paper's protocol — path-keyed
+  // records, one directory = one append-log on one server — and reproduces
+  // the pre-sharding event digest byte-identically. `sharded` routes every
+  // namespace operation through the src/meta token-range service
+  // (dentry/inode separation, paged readdir, rename and hard links).
+  mds::MetadataMode metadata = mds::MetadataMode::kAppendLog;
+  // Sharded-mode knobs (token ranges per directory, default page size);
+  // ignored under append_log.
+  mds::MetaConfig meta;
   // Op-scheduler knobs (src/io): per-(client, server) batching of stripe and
   // metadata RPCs. `io.batching = false` reproduces the one-RPC-per-stripe
   // data path byte-identically in the event digest.
@@ -141,6 +156,17 @@ class MemFs final : public Vfs {
                                      std::string path) override;
   sim::Future<Status> Unlink(VfsContext ctx, std::string path) override;
   sim::Future<Status> Rmdir(VfsContext ctx, std::string path) override;
+  sim::Future<Result<DirPage>> ReadDirPage(VfsContext ctx, std::string path,
+                                           DirCursor cursor,
+                                           std::uint32_t limit) override;
+  // Rename and hard links exist only in sharded metadata mode (a dentry is
+  // moved or added; the ino-keyed inode and stripes never migrate). Under
+  // append_log both fail with PERMISSION — the paper's path-keyed records
+  // cannot support them without rewriting data.
+  sim::Future<Status> Rename(VfsContext ctx, std::string from,
+                             std::string to) override;
+  sim::Future<Status> Link(VfsContext ctx, std::string existing,
+                           std::string link) override;
 
   const MemFsConfig& config() const { return config_; }
   const MemFsStats& stats() const { return stats_; }
@@ -173,9 +199,24 @@ class MemFs final : public Vfs {
   void AttachMembership(kv::Membership* membership);
   kv::Membership* membership() const { return membership_; }
 
+  // The sharded metadata service client; nullptr under append_log.
+  mds::Client* meta_client() const { return meta_client_.get(); }
+
+  // Deployment-time bulk namespace seeding (sharded mode only, before any
+  // simulated traffic — the mdtest-scale bench setup). Creates directory
+  // `dir` (a direct child of the root) holding `count` sealed zero-length
+  // files "<prefix><i>", written straight into the servers like the root
+  // bootstrap.
+  void BulkLoadDirectory(const std::string& dir, const std::string& prefix,
+                         std::uint64_t count);
+
  private:
   struct OpenFile {
     std::string path;
+    // Stripe-key identity: the path under append_log, "i/<ino>" under
+    // sharded metadata (so rename never moves data).
+    std::string ident;
+    mds::Ino ino = 0;  // sharded mode only
     net::NodeId node = 0;
     bool writing = false;
     std::uint32_t epoch = 0;  // ring epoch governing stripe placement
@@ -242,6 +283,13 @@ class MemFs final : public Vfs {
   [[nodiscard]] sim::Future<Status> ReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                        std::string key,
                                        trace::TraceContext trace);
+  // ADD with full fan-out: the home replica arbitrates, then the accepted
+  // value is installed on the rest of the chain with SETs — the legacy mkdir
+  // discipline, applied to every metadata record the sharded service ADDs
+  // (dentries, lazily created index blobs).
+  [[nodiscard]] sim::Future<Status> MetaAdd(net::NodeId node, std::string key,
+                                            Bytes value,
+                                            trace::TraceContext trace);
   // Tries replicas in ring order until one answers; NOT_FOUND only if every
   // reachable replica lacks the key.
   [[nodiscard]] sim::Future<Result<Bytes>> FailoverGet(std::uint32_t epoch,
@@ -259,6 +307,8 @@ class MemFs final : public Vfs {
   sim::Task RunReplicatedDelete(std::uint32_t epoch, net::NodeId node,
                                 std::string key, sim::Promise<Status> done,
                                 trace::TraceContext trace);
+  sim::Task RunMetaAdd(net::NodeId node, std::string key, Bytes value,
+                       sim::Promise<Status> done, trace::TraceContext trace);
   sim::Task RunFailoverGet(std::uint32_t epoch, net::NodeId node,
                            std::string key,
                            sim::Promise<Result<Bytes>> done,
@@ -268,6 +318,51 @@ class MemFs final : public Vfs {
                           std::string key, Bytes value);
 
   [[nodiscard]] Result<OpenFile*> FindHandle(FileHandle handle, bool writing);
+
+  // Adapts the replicated/batched storage path (metadata ring epoch 0) to
+  // the five single-key primitives the sharded metadata client speaks.
+  class MetaStore final : public mds::Store {
+   public:
+    explicit MetaStore(MemFs& fs) : fs_(fs) {}
+    sim::Future<Status> Set(net::NodeId node, std::string key, Bytes value,
+                            trace::TraceContext trace) override {
+      return fs_.ReplicatedSet(0, node, std::move(key), std::move(value),
+                               trace);
+    }
+    sim::Future<Status> Add(net::NodeId node, std::string key, Bytes value,
+                            trace::TraceContext trace) override {
+      return fs_.MetaAdd(node, std::move(key), std::move(value), trace);
+    }
+    sim::Future<Status> Append(net::NodeId node, std::string key, Bytes suffix,
+                               trace::TraceContext trace) override {
+      return fs_.ReplicatedAppend(0, node, std::move(key), std::move(suffix),
+                                  trace);
+    }
+    sim::Future<Status> Delete(net::NodeId node, std::string key,
+                               trace::TraceContext trace) override {
+      return fs_.ReplicatedDelete(0, node, std::move(key), trace);
+    }
+    sim::Future<Result<Bytes>> Get(net::NodeId node, std::string key,
+                                   trace::TraceContext trace) override {
+      return fs_.FailoverGet(0, node, std::move(key), trace);
+    }
+
+   private:
+    MemFs& fs_;
+  };
+
+  // Installs an open-file entry (pure bookkeeping, no events). `ident` keys
+  // the stripes; `size` applies to read handles.
+  FileHandle InstallHandle(std::string path, std::string ident, mds::Ino ino,
+                           net::NodeId node, bool writing, std::uint32_t epoch,
+                           std::uint64_t size);
+
+  // Deployment-time direct write of `value` to every replica of `key` on the
+  // metadata ring (no simulated traffic; asserts success).
+  void SeedKey(const std::string& key, const Bytes& value);
+  // Same, but appends to an existing blob (creating it with `header` first).
+  void SeedAppendKey(const std::string& key, const Bytes& header,
+                     const Bytes& event);
 
   // Ships one stripe asynchronously (or inline when io_threads == 0),
   // respecting buffer capacity and pool width. Awaited by the writer, so
@@ -310,6 +405,18 @@ class MemFs final : public Vfs {
                      sim::Promise<Status> done);
   sim::Task DoRmdir(VfsContext ctx, std::string path,
                     sim::Promise<Status> done);
+  sim::Task DoReadDirPage(VfsContext ctx, std::string path, DirCursor cursor,
+                          std::uint32_t limit,
+                          sim::Promise<Result<DirPage>> done);
+  sim::Task DoRename(VfsContext ctx, std::string from, std::string to,
+                     sim::Promise<Status> done);
+  sim::Task DoLink(VfsContext ctx, std::string existing, std::string link,
+                   sim::Promise<Status> done);
+  // Reclaims every stripe of a dead inode (awaited by the unlink).
+  sim::Task ReclaimStripes(net::NodeId node, std::string ident,
+                           std::uint32_t epoch, std::uint64_t size,
+                           sim::VoidPromise reclaimed,
+                           trace::TraceContext trace);
 
   std::unique_ptr<hash::Distributor> MakeDistributor(
       std::uint32_t servers) const;
@@ -325,6 +432,10 @@ class MemFs final : public Vfs {
   // Batched per-(client, server) submission layer; every data-path storage
   // op (stripes, metadata, replication fan-out, read repair) goes through it.
   io::OpScheduler sched_;
+  // Sharded metadata service (metadata == kSharded); both null under
+  // append_log. The store adapter must outlive the client.
+  std::unique_ptr<MetaStore> meta_store_;
+  std::unique_ptr<mds::Client> meta_client_;
 
   // Per-node buffering and prefetching pools (§3.2.2).
   sim::PoolGroup write_pool_;

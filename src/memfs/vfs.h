@@ -50,6 +50,21 @@ struct FileInfo {
   bool sealed = true;  // files only; false while still open for writing
 };
 
+// Paged directory enumeration. A cursor names a metadata token-range shard
+// and the number of entries already consumed within it; `{0, 0}` starts a
+// listing. Cursors stay valid across membership epochs — shard assignment
+// depends only on the directory, never on the server ring.
+struct DirCursor {
+  std::uint32_t shard = 0;
+  std::uint64_t offset = 0;
+};
+
+struct DirPage {
+  std::vector<FileInfo> entries;  // sorted by name within each shard
+  DirCursor next;                 // pass back to continue the listing
+  bool more = false;              // false when the listing is exhausted
+};
+
 class Vfs {
  public:
   virtual ~Vfs() = default;
@@ -89,6 +104,13 @@ class Vfs {
   [[nodiscard]] virtual sim::Future<Result<std::vector<FileInfo>>> ReadDir(
       VfsContext ctx, std::string path) = 0;
 
+  // One bounded page of a directory listing starting at `cursor`
+  // (`limit == 0` uses the implementation's default page size). Never
+  // materializes the whole directory in a single RPC.
+  [[nodiscard]] virtual sim::Future<Result<DirPage>> ReadDirPage(
+      VfsContext ctx, std::string path, DirCursor cursor,
+      std::uint32_t limit) = 0;
+
   [[nodiscard]] virtual sim::Future<Result<FileInfo>> Stat(VfsContext ctx,
                                              std::string path) = 0;
 
@@ -97,6 +119,19 @@ class Vfs {
   // Removes an empty directory (NOT_EMPTY otherwise; the root is
   // irremovable).
   [[nodiscard]] virtual sim::Future<Status> Rmdir(VfsContext ctx, std::string path) = 0;
+
+  // Moves `from` to `to` (which must not exist). Sealed files and
+  // directories; implementations without a dentry/inode split may reject
+  // directory renames or the operation entirely with PERMISSION.
+  [[nodiscard]] virtual sim::Future<Status> Rename(VfsContext ctx,
+                                                   std::string from,
+                                                   std::string to) = 0;
+
+  // Hard link: `link` becomes a second name for the sealed file `existing`.
+  // PERMISSION on implementations whose records are path-keyed.
+  [[nodiscard]] virtual sim::Future<Status> Link(VfsContext ctx,
+                                                 std::string existing,
+                                                 std::string link) = 0;
 };
 
 // Path helpers shared by both file systems.

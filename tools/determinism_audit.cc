@@ -29,6 +29,8 @@
 #include "kvstore/membership.h"
 #include "kvstore/migrator.h"
 #include "memfs/memfs.h"
+#include "meta/client.h"
+#include "meta/meta.h"
 #include "net/fluid_network.h"
 #include "sim/checker.h"
 #include "sim/fault.h"
@@ -43,6 +45,11 @@ using units::Millis;
 
 constexpr std::uint32_t kNodes = 8;
 constexpr std::uint32_t kFiles = 16;
+
+// The append-log arm must reproduce the pre-sharding event stream byte for
+// byte: this is the seed-7 batched digest measured before src/meta landed.
+// A drift here means the legacy namespace path changed behaviour.
+constexpr std::uint64_t kAppendLogSeed7Digest = 0xe7fb33e5d1e88e63ull;
 
 sim::Task WriteFile(sim::Simulation& sim, fs::Vfs& vfs, sim::SimTime start,
                     std::uint32_t node, std::string path, std::uint64_t seed,
@@ -81,8 +88,158 @@ struct AuditRun {
   std::uint32_t reads_intact = 0;
   std::uint64_t fault_events = 0;
   bool elastic_ok = true;  // join + drain committed (elastic runs only)
+  std::uint32_t pending_intents = 0;   // sharded runs: intents left unrolled
+  std::uint64_t listed_entries = 0;    // sharded runs: paged-readdir sweep
   std::string checker_summary;  // empty when the checker is clean
 };
+
+// --- Sharded-metadata churn (the src/meta determinism gate) ---------------
+
+sim::Task RunChurnSetup(fs::Vfs& vfs, std::uint8_t& ok) {
+  fs::VfsContext ctx{0, 0};
+  const Status src = co_await vfs.Mkdir(ctx, "/src");
+  const Status dst = co_await vfs.Mkdir(ctx, "/dst");
+  ok = src.ok() && dst.ok();
+}
+
+// One unit of namespace churn: create + write + seal a file, then (by
+// index) a cross-directory rename, a hard link, or an unlink — all racing
+// the fault schedule. Failures are part of the audited behaviour.
+sim::Task RunChurnOp(sim::Simulation& sim, fs::Vfs& vfs, sim::SimTime start,
+                     std::uint32_t node, std::uint32_t index,
+                     std::uint8_t& ok) {
+  co_await sim.Delay(start);
+  fs::VfsContext ctx{node, 0};
+  const std::string src = "/src/f" + std::to_string(index);
+  auto created = co_await vfs.Create(ctx, src);
+  if (!created.ok()) co_return;
+  const Status wrote = co_await vfs.Write(ctx, created.value(),
+                                          Bytes::Synthetic(KiB(64), 7000 + index));
+  const Status closed = co_await vfs.Close(ctx, created.value());
+  if (!wrote.ok() || !closed.ok()) co_return;
+  Status churned = Status::Ok();
+  if (index % 2 == 0) {
+    churned = co_await vfs.Rename(ctx, src, "/dst/g" + std::to_string(index));
+  } else if (index % 3 == 0) {
+    churned = co_await vfs.Link(ctx, src, "/src/l" + std::to_string(index));
+  } else if (index % 5 == 0) {
+    churned = co_await vfs.Unlink(ctx, src);
+  }
+  ok = churned.ok();
+}
+
+// Rolls surviving rename intents forward once the cluster is healthy again.
+sim::Task RunShardedRecovery(meta::Client& client, std::uint32_t& pending) {
+  std::uint32_t rounds = 0;
+  while (client.pending_intents() > 0 && rounds < 16) {
+    // lint: allow(ignored-status) unrecovered intents are retried next round
+    (void)co_await client.RecoverPending(0, {});
+    ++rounds;
+  }
+  pending = client.pending_intents();
+}
+
+// Paged enumeration sweep: deterministic read traffic over every index blob.
+sim::Task RunPagedSweep(fs::Vfs& vfs, std::string dir, std::uint32_t node,
+                        std::uint64_t& count) {
+  fs::VfsContext ctx{node, 0};
+  fs::DirCursor cursor;
+  while (true) {
+    auto page = co_await vfs.ReadDirPage(ctx, dir, cursor, 16);
+    if (!page.ok()) co_return;
+    count += page->entries.size();
+    if (!page->more) break;
+    cursor = page->next;
+  }
+}
+
+// Faulted namespace churn on the token-range-sharded metadata service:
+// creates, cross-directory renames, hard links and unlinks race seeded
+// crash / slow / loss windows; recovery then drains every rename intent and
+// a paged enumeration sweeps both directories. Crashes keep RAM across the
+// restart (process crash) so the bounded recovery loop must always converge
+// to zero pending intents — the crash-safety gate rides along with the
+// determinism gate.
+AuditRun RunShardedOnce(std::uint64_t seed) {
+  sim::Simulation sim;
+  sim::SimChecker checker(sim);
+  net::FairShareNetwork network(sim, net::Das4Ipoib(kNodes));
+
+  kv::KvClientPolicy policy;
+  policy.retry.max_attempts = 5;
+  policy.op_deadline = Millis(20);
+
+  std::vector<net::NodeId> server_nodes;
+  for (std::uint32_t n = 0; n < kNodes; ++n) server_nodes.push_back(n);
+  kv::KvCluster storage(sim, network, std::move(server_nodes),
+                        kv::KvServerConfig{}, kv::KvOpCostModel{}, nullptr,
+                        policy);
+  fs::MemFsConfig config;
+  config.replication = 2;
+  config.metadata = meta::MetadataMode::kSharded;
+  fs::MemFs memfs(sim, network, storage, config);
+
+  sim::FaultHooks hooks;
+  hooks.set_server_down = [&storage](std::uint32_t server, bool down,
+                                     bool wipe) {
+    storage.SetServerDown(server, down, wipe);
+  };
+  hooks.set_server_slowdown = [&storage](std::uint32_t server, double factor) {
+    storage.SetServerSlowdown(server, factor);
+  };
+  hooks.set_link_fault = [&network](std::uint32_t src, std::uint32_t dst,
+                                    double loss, sim::SimTime extra) {
+    network.SetLinkFault(src, dst, {loss, extra});
+  };
+  hooks.clear_link_fault = [&network](std::uint32_t src, std::uint32_t dst) {
+    network.ClearLinkFault(src, dst);
+  };
+  sim::FaultInjector injector(sim, std::move(hooks));
+
+  sim::FaultScheduleConfig schedule;
+  schedule.seed = seed;
+  schedule.servers = kNodes;
+  schedule.nodes = kNodes;
+  schedule.horizon = Millis(48);
+  schedule.crashes = 2;
+  schedule.slow_episodes = 1;
+  schedule.link_faults = 1;
+  schedule.wipe_on_restart = false;  // RAM survives; recovery must converge
+  injector.ScheduleAll(sim::GenerateFaultSchedule(schedule));
+
+  std::uint8_t setup_ok = 0;
+  // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+  RunChurnSetup(memfs, setup_ok);
+  std::vector<std::uint8_t> churn_ok(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+    RunChurnOp(sim, memfs, Millis(1) + Millis(3) * i, i % kNodes, i,
+               churn_ok[i]);
+  }
+  sim.Run();
+
+  AuditRun run;
+  std::uint32_t pending = ~0u;
+  // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+  RunShardedRecovery(*memfs.meta_client(), pending);
+  sim.Run();
+  run.pending_intents = pending;
+
+  // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+  RunPagedSweep(memfs, "/src", 0, run.listed_entries);
+  // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+  RunPagedSweep(memfs, "/dst", 1, run.listed_entries);
+  sim.Run();
+
+  run.digest = sim.EventDigest();
+  run.events = sim.events_processed();
+  run.fault_events = injector.stats().total_events();
+  run.writes_ok = setup_ok;
+  for (std::uint32_t i = 0; i < kFiles; ++i) run.reads_intact += churn_ok[i];
+  checker.Finish();
+  run.checker_summary = checker.Summary();
+  return run;
+}
 
 // Drives one elastic scale-out + scale-in episode mid-traffic: join a 9th
 // server, rebalance, then drain server `drain_server` and rebalance again. A
@@ -294,6 +451,11 @@ int main() {
   const auto elastic1 = memfs::RunElasticOnce(7);
   const auto elastic2 = memfs::RunElasticOnce(7);
   const auto elastic3 = memfs::RunElasticOnce(8);
+  // Sharded-metadata gate: faulted rename / link / unlink churn plus
+  // intent recovery and a paged enumeration sweep.
+  const auto sharded1 = memfs::RunShardedOnce(7);
+  const auto sharded2 = memfs::RunShardedOnce(7);
+  const auto sharded3 = memfs::RunShardedOnce(8);
 
   std::printf("run 1 (seed 7, batched): digest=%016llx events=%llu "
               "faults=%llu writes_ok=%u reads_intact=%u\n",
@@ -326,8 +488,30 @@ int main() {
   std::printf("run 8 (seed 8, elastic): digest=%016llx events=%llu\n",
               static_cast<unsigned long long>(elastic3.digest),
               static_cast<unsigned long long>(elastic3.events));
+  std::printf("run 9 (seed 7, sharded): digest=%016llx events=%llu "
+              "faults=%llu ops_ok=%u pending=%u listed=%llu\n",
+              static_cast<unsigned long long>(sharded1.digest),
+              static_cast<unsigned long long>(sharded1.events),
+              static_cast<unsigned long long>(sharded1.fault_events),
+              sharded1.reads_intact, sharded1.pending_intents,
+              static_cast<unsigned long long>(sharded1.listed_entries));
+  std::printf("run 10 (seed 7, sharded): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(sharded2.digest),
+              static_cast<unsigned long long>(sharded2.events));
+  std::printf("run 11 (seed 8, sharded): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(sharded3.digest),
+              static_cast<unsigned long long>(sharded3.events));
 
   bool failed = false;
+  if (first.digest != memfs::kAppendLogSeed7Digest) {
+    std::fprintf(stderr,
+                 "FAIL: append_log digest drifted from the pinned "
+                 "pre-sharding baseline %016llx — the legacy namespace path "
+                 "changed behaviour\n",
+                 static_cast<unsigned long long>(
+                     memfs::kAppendLogSeed7Digest));
+    failed = true;
+  }
   if (first.digest != second.digest) {
     std::fprintf(stderr,
                  "FAIL: same-seed batched runs diverged — nondeterminism in "
@@ -367,8 +551,38 @@ int main() {
       break;
     }
   }
+  if (sharded1.digest != sharded2.digest) {
+    std::fprintf(stderr,
+                 "FAIL: same-seed sharded runs diverged — nondeterminism in "
+                 "the metadata service\n");
+    failed = true;
+  }
+  if (sharded1.digest == sharded3.digest) {
+    std::fprintf(stderr,
+                 "FAIL: different fault seeds produced identical sharded "
+                 "digests — the digest does not cover the schedule\n");
+    failed = true;
+  }
+  for (const auto* run : {&sharded1, &sharded2, &sharded3}) {
+    if (run->writes_ok == 0) {
+      std::fprintf(stderr, "FAIL: a sharded run could not build /src + /dst\n");
+      failed = true;
+      break;
+    }
+  }
+  for (const auto* run : {&sharded1, &sharded2, &sharded3}) {
+    if (run->pending_intents != 0) {
+      std::fprintf(stderr,
+                   "FAIL: a sharded run left %u rename intents unrolled — "
+                   "crash recovery did not converge\n",
+                   run->pending_intents);
+      failed = true;
+      break;
+    }
+  }
   for (const auto* run : {&first, &second, &other, &plain1, &plain2,
-                          &elastic1, &elastic2, &elastic3}) {
+                          &elastic1, &elastic2, &elastic3, &sharded1,
+                          &sharded2, &sharded3}) {
     if (!run->checker_summary.empty()) {
       std::fprintf(stderr, "FAIL: SimChecker findings:\n%s",
                    run->checker_summary.c_str());

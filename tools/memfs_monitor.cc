@@ -29,6 +29,7 @@
 #include "common/units.h"
 #include "kvstore/membership.h"
 #include "kvstore/migrator.h"
+#include "meta/meta.h"
 #include "monitor/monitor.h"
 #include "monitor/probes.h"
 #include "monitor/slo.h"
@@ -57,6 +58,7 @@ constexpr const char* kHelp = R"(memfs_monitor — cluster monitoring timeline
   --task-scale=N                      divide task count    [64]
   --size-scale=N                      divide file sizes    [16]
   --replication=N                     stripe copies        [1]
+  --metadata=append_log|sharded       namespace service    [sharded]
   --interval-us=N                     sampling window (us) [1000]
   --retention=N                       windows retained     [65536]
   --faults                            seeded fault episodes [off]
@@ -72,6 +74,7 @@ constexpr const char* kHelp = R"(memfs_monitor — cluster monitoring timeline
 
 Default SLO rules:
   skew(kv.mem_bytes) < 1.25 for 95% of windows
+  skew(meta.dentries) < 1.25 when sum(meta.dentries) > 1024 for 95% of windows
   sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of windows
 With --elastic (p99 must hold while data rebalances):
   value(vfs.write.p99_ms) < 50 for 95% of windows
@@ -123,6 +126,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.GetUint("fragments", 512));
   const auto replication =
       static_cast<std::uint32_t>(flags.GetUint("replication", 1));
+  const std::string metadata = flags.GetString("metadata", "sharded");
   const auto interval_us = flags.GetUint("interval-us", 1000);
   const auto retention =
       static_cast<std::size_t>(flags.GetUint("retention", 1u << 16));
@@ -166,6 +170,12 @@ int main(int argc, char** argv) {
   config.nodes = nodes;
   config.fabric = fabric;
   config.memfs.replication = replication;
+  if (metadata == "sharded") {
+    config.memfs.metadata = meta::MetadataMode::kSharded;
+  } else if (metadata != "append_log") {
+    std::cerr << "unknown metadata mode: " << metadata << "\n" << kHelp;
+    return 2;
+  }
   if (faults) {
     config.kv_policy.retry.max_attempts = 5;
     config.kv_policy.op_deadline = units::Millis(20);
@@ -262,6 +272,25 @@ int main(int argc, char** argv) {
   monitor::SymmetryAuditor auditor(mon);
   auditor.PrintSummary(std::cout, csv);
 
+  // The sharded namespace's load-balance claim as one line: how far the
+  // worst window's dentry placement strayed from symmetric, and when.
+  const monitor::SymmetryReport meta_balance = auditor.Audit("meta.dentries");
+  if (!meta_balance.windows.empty()) {
+    sim::SimTime worst_start = 0;
+    for (const monitor::BalanceStats& stats : meta_balance.windows) {
+      if (stats.window == meta_balance.worst_skew_window) {
+        worst_start = stats.start;
+      }
+    }
+    std::cout << "metadata balance: " << meta_balance.instance_count
+              << " dentry shards, worst-window skew "
+              << Table::Num(meta_balance.worst_skew, 3) << " at "
+              << Table::Num(static_cast<double>(worst_start) / 1e6, 2)
+              << " ms, " << Table::Num(
+                     100.0 * meta_balance.FractionWithinSkew(1.25), 1)
+              << "% of windows within 1.25\n";
+  }
+
   if (elastic) {
     const kv::Membership& membership = *bed.membership();
     const kv::MigratorProgress& progress = bed.migrator()->progress();
@@ -282,6 +311,11 @@ int main(int argc, char** argv) {
   monitor::SloWatchdog watchdog(mon);
   if (!no_default_slo) {
     (void)watchdog.AddRule("skew(kv.mem_bytes) < 1.25 for 95% of windows");
+    // Vacuous under --metadata=append_log: the guard never fires without
+    // per-shard dentry gauges.
+    (void)watchdog.AddRule(
+        "skew(meta.dentries) < 1.25 when sum(meta.dentries) > 1024 "
+        "for 95% of windows");
     (void)watchdog.AddRule(
         "sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of windows");
     if (elastic) {
