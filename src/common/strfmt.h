@@ -1,0 +1,23 @@
+// Allocation-free numeric append for the hot key/codec formatting paths.
+// std::to_string materializes a temporary std::string per number; the key
+// builders (stripe keys, metadata keys, record codecs) instead format digits
+// into a stack buffer and append them to a caller-owned, usually reusable,
+// string. Output bytes are identical to the std::to_string spelling.
+#pragma once
+
+#include <cassert>
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <system_error>
+
+namespace memfs::strfmt {
+
+inline void AppendUint(std::string& out, std::uint64_t value) {
+  char digits[20];  // max uint64 has 20 digits
+  const auto result = std::to_chars(digits, digits + sizeof(digits), value);
+  assert(result.ec == std::errc());
+  out.append(digits, static_cast<std::size_t>(result.ptr - digits));
+}
+
+}  // namespace memfs::strfmt

@@ -14,25 +14,26 @@ OpScheduler::OpScheduler(sim::Simulation& sim, kv::KvCluster& cluster,
 
 OpScheduler::Lane& OpScheduler::LaneFor(net::NodeId client,
                                         std::uint32_t server) {
-  auto key = std::make_pair(client, server);
-  auto it = lanes_.find(key);
-  if (it == lanes_.end()) {
-    auto lane = std::make_unique<Lane>();
-    lane->client = client;
-    lane->server = server;
-    lane->window =
+  if (client >= lanes_.size()) lanes_.resize(client + 1);
+  auto& row = lanes_[client];
+  if (server >= row.size()) row.resize(server + 1);
+  std::unique_ptr<Lane>& slot = row[server];
+  if (slot == nullptr) {
+    slot = std::make_unique<Lane>();
+    slot->client = client;
+    slot->server = server;
+    slot->window =
         std::make_unique<sim::BoundedPool>(sim_, config_.window, "io.window");
     if (MetricsRegistry* metrics = cluster_.metrics(); metrics != nullptr) {
-      lane->queued_gauge =
+      slot->queued_gauge =
           &metrics->Gauge(InstanceGaugeName("io.queued", server));
-      lane->batches_gauge =
+      slot->batches_gauge =
           &metrics->Gauge(InstanceGaugeName("io.inflight_batches", server));
-      lane->fill_gauge =
+      slot->fill_gauge =
           &metrics->Gauge(InstanceGaugeName("io.batch_fill", server));
     }
-    it = lanes_.emplace(key, std::move(lane)).first;
   }
-  return *it->second;
+  return *slot;
 }
 
 sim::Future<Status> OpScheduler::EnqueueMutation(net::NodeId client,

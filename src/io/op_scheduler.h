@@ -35,7 +35,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -150,9 +149,12 @@ class OpScheduler {
   kv::KvCluster& cluster_;
   IoConfig config_;
   IoStats stats_;
-  // Ordered map: lane creation order must not depend on pointer values.
-  std::map<std::pair<net::NodeId, std::uint32_t>, std::unique_ptr<Lane>>
-      lanes_;
+  // Lane registry indexed [client][server], grown on demand (elastic
+  // membership can raise either id mid-run). Lanes are only ever looked up
+  // by exact (client, server) — never iterated — so the layout carries no
+  // ordering obligations; the flat index replaces a std::map lookup on
+  // every kv op issue.
+  std::vector<std::vector<std::unique_ptr<Lane>>> lanes_;
 };
 
 }  // namespace memfs::io

@@ -582,6 +582,7 @@ FileHandle MemFs::InstallHandle(std::string path, std::string ident,
   auto file = std::make_unique<OpenFile>();
   file->path = std::move(path);
   file->ident = std::move(ident);
+  file->stripe_keys.Reset(file->ident);
   file->ino = ino;
   file->node = node;
   file->writing = writing;
@@ -737,7 +738,7 @@ sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
 sim::Task MemFs::SubmitStripe(OpenFile* file, std::uint32_t index, Bytes data,
                               sim::VoidPromise accepted,
                               trace::TraceContext trace) {
-  const std::string key = Striper::StripeKey(file->ident, index);
+  const std::string key(file->stripe_keys.Render(index));
   if (config_.io_threads == 0) {
     // No buffering (Fig. 3b baseline): the write call itself carries the
     // transfer.
@@ -1079,8 +1080,8 @@ sim::Future<Result<Bytes>> MemFs::EnsureStripe(OpenFile* file,
   }
 
   FetchStripe(file->node, file->epoch,
-              Striper::StripeKey(file->ident, index), std::move(promise),
-              trace);
+              std::string(file->stripe_keys.Render(index)),
+              std::move(promise), trace);
   return future;
 }
 
@@ -1425,10 +1426,11 @@ sim::Task MemFs::DoUnlink(VfsContext ctx, std::string path,
       decoded->file.epoch < epochs_.size() ? decoded->file.epoch : 0;
   const std::uint32_t stripes = striper_.StripeCount(decoded->file.size);
   sim::WaitGroup wg(sim_);
+  StripeKeyBuf keys(path);
   for (std::uint32_t i = 0; i < stripes; ++i) {
     wg.Add();
     auto deletion = ReplicatedDelete(stripe_epoch, ctx.node,
-                                     Striper::StripeKey(path, i), tctx);
+                                     std::string(keys.Render(i)), tctx);
     [](sim::Future<Status> f, sim::WaitGroup& group) -> sim::Task {
       co_await f;
       group.Done();
@@ -1444,10 +1446,11 @@ sim::Task MemFs::ReclaimStripes(net::NodeId node, std::string ident,
                                 trace::TraceContext trace) {
   const std::uint32_t stripes = striper_.StripeCount(size);
   sim::WaitGroup wg(sim_);
+  StripeKeyBuf keys(ident);
   for (std::uint32_t i = 0; i < stripes; ++i) {
     wg.Add();
     auto deletion = ReplicatedDelete(epoch, node,
-                                     Striper::StripeKey(ident, i), trace);
+                                     std::string(keys.Render(i)), trace);
     [](sim::Future<Status> f, sim::WaitGroup& group) -> sim::Task {
       co_await f;
       group.Done();

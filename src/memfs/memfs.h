@@ -216,6 +216,10 @@ class MemFs final : public Vfs {
     // Stripe-key identity: the path under append_log, "i/<ino>" under
     // sharded metadata (so rename never moves data).
     std::string ident;
+    // Preformatted "<ident>#" stripe-key buffer: the prefix is cached for
+    // the life of the handle, only the stripe-number suffix is patched per
+    // submit/fetch.
+    StripeKeyBuf stripe_keys;
     mds::Ino ino = 0;  // sharded mode only
     net::NodeId node = 0;
     bool writing = false;

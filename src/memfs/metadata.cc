@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <charconv>
 
+#include "common/strfmt.h"
+
 namespace memfs::fs::meta {
 
 Bytes EncodeFile(const FileMeta& meta) {
   std::string text = "F ";
-  text += std::to_string(meta.size);
+  strfmt::AppendUint(text, meta.size);
   text += meta.sealed ? " 1" : " 0";
   if (meta.epoch != 0) {
     text += ' ';
-    text += std::to_string(meta.epoch);
+    strfmt::AppendUint(text, meta.epoch);
   }
   text += '\n';
   return Bytes::Copy(text);

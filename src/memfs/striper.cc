@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 
 namespace memfs::fs {
 
@@ -41,12 +42,25 @@ std::vector<StripeSpan> Striper::Spans(std::uint64_t offset,
 }
 
 std::string Striper::StripeKey(std::string_view path, std::uint32_t index) {
-  std::string key;
-  key.reserve(path.size() + 12);
-  key.append(path);
-  key.push_back('#');
-  key.append(std::to_string(index));
-  return key;
+  StripeKeyBuf buf(path);
+  return std::string(buf.Render(index));
+}
+
+void StripeKeyBuf::Reset(std::string_view path) {
+  buf_.clear();
+  buf_.reserve(path.size() + 11);  // '#' + ten digits of a uint32
+  buf_.append(path);
+  buf_.push_back('#');
+  prefix_ = buf_.size();
+}
+
+std::string_view StripeKeyBuf::Render(std::uint32_t index) {
+  char digits[10];
+  auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), index);
+  assert(ec == std::errc());
+  buf_.resize(prefix_);
+  buf_.append(digits, static_cast<std::size_t>(end - digits));
+  return buf_;
 }
 
 }  // namespace memfs::fs

@@ -49,4 +49,26 @@ class Striper {
   std::uint64_t stripe_size_;
 };
 
+// Reusable preformatted stripe-key buffer. The "<path>#" prefix is written
+// once (per open file handle, in practice); Render patches only the numeric
+// suffix in place, so issuing the keys of a file's stripes does not
+// re-format or re-allocate the prefix per stripe. Render's view aliases the
+// internal buffer and is invalidated by the next Render/Reset — callers that
+// hand the key to an async op must materialize it (std::string(view)), which
+// is then the single allocation on the key path. Key bytes are identical to
+// Striper::StripeKey for every (path, index).
+class StripeKeyBuf {
+ public:
+  StripeKeyBuf() = default;
+  explicit StripeKeyBuf(std::string_view path) { Reset(path); }
+
+  void Reset(std::string_view path);
+
+  std::string_view Render(std::uint32_t index);
+
+ private:
+  std::string buf_;          // "<path>#" + up to 10 suffix digits
+  std::size_t prefix_ = 0;   // length of "<path>#"
+};
+
 }  // namespace memfs::fs

@@ -5,6 +5,8 @@
 #include <limits>
 #include <map>
 
+#include "common/strfmt.h"
+
 namespace memfs::meta {
 
 // ---------------------------------------------------------------------------
@@ -63,7 +65,9 @@ bool MergeRanges(const TokenRange& a, const TokenRange& b, TokenRange* out) {
 }
 
 std::uint64_t NameToken(Ino dir, std::string_view name, hash::HashKind kind) {
-  std::string input = std::to_string(dir);
+  std::string input;
+  input.reserve(21 + name.size());
+  strfmt::AppendUint(input, dir);
   input.push_back('/');
   input.append(name);
   return hash::HashKey(kind, input);
@@ -77,11 +81,17 @@ std::uint32_t ShardOfName(Ino dir, std::string_view name,
 // ---------------------------------------------------------------------------
 // Keys
 
-std::string InodeKey(Ino ino) { return "i/" + std::to_string(ino); }
+std::string InodeKey(Ino ino) {
+  std::string key = "i/";
+  strfmt::AppendUint(key, ino);
+  return key;
+}
 
 std::string DentryKey(Ino parent, std::string_view name) {
-  std::string key = "d/";
-  key += std::to_string(parent);
+  std::string key;
+  key.reserve(23 + name.size());
+  key.append("d/");
+  strfmt::AppendUint(key, parent);
   key.push_back('/');
   key.append(name);
   return key;
@@ -89,13 +99,17 @@ std::string DentryKey(Ino parent, std::string_view name) {
 
 std::string IndexKey(Ino dir, std::uint32_t shard) {
   std::string key = "x/";
-  key += std::to_string(dir);
+  strfmt::AppendUint(key, dir);
   key.push_back('.');
-  key += std::to_string(shard);
+  strfmt::AppendUint(key, shard);
   return key;
 }
 
-std::string IntentKey(Ino ino) { return "r/" + std::to_string(ino); }
+std::string IntentKey(Ino ino) {
+  std::string key = "r/";
+  strfmt::AppendUint(key, ino);
+  return key;
+}
 
 // ---------------------------------------------------------------------------
 // Codecs
@@ -132,11 +146,11 @@ Bytes EncodeInode(const InodeRecord& rec) {
   std::string text = "I ";
   text.push_back(rec.kind == InodeKind::kDirectory ? 'd' : 'f');
   text.push_back(' ');
-  text += std::to_string(rec.size);
+  strfmt::AppendUint(text, rec.size);
   text += rec.sealed ? " 1 " : " 0 ";
-  text += std::to_string(rec.epoch);
+  strfmt::AppendUint(text, rec.epoch);
   text.push_back(' ');
-  text += std::to_string(rec.nlink);
+  strfmt::AppendUint(text, rec.nlink);
   text.push_back('\n');
   return Bytes::Copy(text);
 }
@@ -162,7 +176,9 @@ Result<InodeRecord> DecodeInode(const Bytes& value) {
 }
 
 Bytes EncodeDentry(const Dentry& dentry) {
-  std::string text = std::to_string(dentry.ino);
+  std::string text;
+  text.reserve(24);
+  strfmt::AppendUint(text, dentry.ino);
   text.push_back(' ');
   text.push_back(dentry.kind == InodeKind::kDirectory ? 'd' : 'f');
   text.push_back('\n');
@@ -231,13 +247,13 @@ Result<std::vector<std::string>> FoldIndex(const Bytes& value) {
 
 Bytes EncodeIntent(const RenameIntent& intent) {
   std::string text = "R ";
-  text += std::to_string(intent.ino);
+  strfmt::AppendUint(text, intent.ino);
   text.push_back(' ');
   text.push_back(intent.kind == InodeKind::kDirectory ? 'd' : 'f');
   text.push_back(' ');
-  text += std::to_string(intent.src_parent);
+  strfmt::AppendUint(text, intent.src_parent);
   text.push_back(' ');
-  text += std::to_string(intent.dst_parent);
+  strfmt::AppendUint(text, intent.dst_parent);
   text.push_back('\n');
   text += intent.src_name;
   text.push_back('\n');

@@ -77,13 +77,19 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
   std::size_t running = 0;
   std::size_t done = 0;
   bool fatal = false;
+  // Total free core slots; lets the runner skip dispatch scans outright on a
+  // saturated cluster when the scheduler guarantees failed probes are pure.
+  std::uint64_t free_total =
+      static_cast<std::uint64_t>(config_.nodes) * config_.cores_per_node;
+  const bool skip_saturated = scheduler_.SkipWhenSaturated();
 
   while (done < total) {
     // Dispatch every ready task the scheduler will place right now. After a
     // successful placement the scan restarts: free slots changed.
-    if (!fatal) {
+    if (!fatal && (free_total > 0 || !skip_saturated)) {
       bool placed_any = true;
-      while (placed_any && !ready.empty()) {
+      while (placed_any && !ready.empty() &&
+             (free_total > 0 || !skip_saturated)) {
         placed_any = false;
         for (std::size_t pos = 0; pos < ready.size(); ++pos) {
           const std::size_t index = ready[pos];
@@ -103,6 +109,7 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
           const net::NodeId n = *node;
           assert(free_cores[n] > 0);
           --free_cores[n];
+          --free_total;
           const std::uint32_t slot = free_slots[n].back();
           free_slots[n].pop_back();
           ExecuteTask(workflow.tasks[index], index, n, slot, root);
@@ -125,6 +132,7 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
     --running;
     ++done;
     ++free_cores[completion.node];
+    ++free_total;
     free_slots[completion.node].push_back(completion.slot);
 
     const TaskSpec& task = workflow.tasks[completion.task_index];
@@ -157,6 +165,7 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
     }
 
     if (completion.status.ok()) {
+      const std::size_t old_size = ready.size();
       for (const auto& output : task.outputs) {
         auto it = consumers.find(output.path);
         if (it == consumers.end()) continue;
@@ -165,7 +174,14 @@ sim::Task Runner::Drive(const Workflow& workflow, WorkflowResult* result,
         }
         consumers.erase(it);
       }
-      std::sort(ready.begin(), ready.end());
+      // `ready` stays sorted between completions (erase preserves order), so
+      // only the freshly unblocked tail needs sorting before a merge — same
+      // final order as the historical full std::sort, without the n log n.
+      if (ready.size() > old_size) {
+        const auto mid = ready.begin() + static_cast<std::ptrdiff_t>(old_size);
+        std::sort(mid, ready.end());
+        std::inplace_merge(ready.begin(), mid, ready.end());
+      }
     }
   }
 

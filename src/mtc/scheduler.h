@@ -29,6 +29,13 @@ class Scheduler {
   // is free right now); the runner retries after the next task completion.
   virtual std::optional<net::NodeId> Place(
       const TaskSpec& task, const std::vector<std::uint32_t>& free_cores) = 0;
+
+  // True when Place is a guaranteed side-effect-free nullopt while no core
+  // anywhere is free — the runner then skips the dispatch scan entirely on a
+  // saturated cluster instead of probing every ready task. Schedulers that
+  // mutate state on failed placements (deferral counters) must return false,
+  // or skipped probes would change later placement decisions.
+  virtual bool SkipWhenSaturated() const { return false; }
 };
 
 // Locality-agnostic: round-robin over nodes with free slots (what the
@@ -38,6 +45,10 @@ class UniformScheduler final : public Scheduler {
   std::optional<net::NodeId> Place(
       const TaskSpec& task,
       const std::vector<std::uint32_t>& free_cores) override;
+
+  // The cursor only advances on successful placements, so a failed probe
+  // leaves no trace and saturated-cluster scans are safely skippable.
+  bool SkipWhenSaturated() const override { return true; }
 
  private:
   std::uint32_t cursor_ = 0;

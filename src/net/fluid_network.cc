@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace memfs::net {
 
@@ -15,10 +16,12 @@ constexpr double kDoneEpsilonBytes = 1e-3;
 }  // namespace
 
 FluidNetwork::FluidNetwork(sim::Simulation& sim, NetworkConfig config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), exact_(config.exact_reallocate) {
   const std::size_t n = config_.nodes;
   capacity_.assign(3 * n + 1, 0.0);
   counts_.assign(3 * n + 1, 0);
+  res_flows_.resize(3 * n + 1);
+  dirty_stamp_.assign(3 * n + 1, 0);
   sent_.assign(n, 0);
   received_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -33,6 +36,8 @@ FluidNetwork::FluidNetwork(sim::Simulation& sim, NetworkConfig config)
                             ? std::numeric_limits<double>::infinity()
                             : static_cast<double>(config_.fabric_bandwidth);
 }
+
+FluidNetwork::~FluidNetwork() = default;
 
 sim::VoidFuture FluidNetwork::Transfer(NodeId src, NodeId dst,
                                        std::uint64_t bytes) {
@@ -57,25 +62,31 @@ sim::VoidFuture FluidNetwork::Transfer(NodeId src, NodeId dst,
     return future;
   }
 
-  Flow flow;
+  // The flow is built in its slot up front; only {slot, id} travel through
+  // the event queue. It enters the fluid stage after its one-way latency, so
+  // small transfers are latency-dominated, as the paper observes for 1 KB
+  // files.
+  const std::uint64_t id = next_flow_id_++;
+  const SlotId slot = AllocSlot();
+  Flow& flow = flows_[slot];
   flow.src = src;
   flow.dst = dst;
-  flow.remaining = static_cast<double>(bytes);
-  flow.promise = promise;
+  flow.state = FlowState::kStaged;
+  flow.bytes = static_cast<double>(bytes);
+  flow.id = id;
+  flow.promise = std::move(promise);
   if (local) {
-    flow.resources = {LocalOf(src)};
+    flow.nres = 1;
+    flow.res[0] = LocalOf(src);
   } else {
-    flow.resources = {EgressOf(src), IngressOf(dst)};
-    if (config_.fabric_bandwidth != 0) flow.resources.push_back(Fabric());
+    flow.nres = 2;
+    flow.res[0] = EgressOf(src);
+    flow.res[1] = IngressOf(dst);
+    if (config_.fabric_bandwidth != 0) {
+      flow.res[flow.nres++] = Fabric();
+    }
   }
-
-  const std::uint64_t id = next_flow_id_++;
-  // The flow enters the fluid stage after its one-way latency; small
-  // transfers are therefore latency-dominated, as the paper observes for
-  // 1 KB files.
-  sim_.Schedule(latency, [this, id, flow = std::move(flow)]() mutable {
-    Activate(id, std::move(flow));
-  });
+  sim_.Schedule(latency, [this, slot, id] { Activate(slot, id); });
   return future;
 }
 
@@ -100,11 +111,99 @@ bool FluidNetwork::DropMessage(NodeId src, NodeId dst) {
   return true;
 }
 
-void FluidNetwork::Activate(std::uint64_t id, Flow flow) {
-  AdvanceProgress();
-  for (ResourceId r : flow.resources) ++counts_[r];
-  active_.emplace(id, std::move(flow));
+std::vector<FluidNetwork::FlowInfo> FluidNetwork::SnapshotFlows() const {
+  std::vector<FlowInfo> out;
+  out.reserve(active_count_);
+  for (std::size_t i = 0; i < active_slots_.size(); ++i) {
+    const Flow& flow = flows_[active_slots_[i]];
+    out.push_back(
+        {flow.id, flow.src, flow.dst, active_rr_[i].remaining,
+         active_rr_[i].rate});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowInfo& a, const FlowInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+FluidNetwork::SlotId FluidNetwork::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const SlotId slot = free_head_;
+    free_head_ = flows_[slot].next_free;
+    flows_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  flows_.emplace_back();
+  return static_cast<SlotId>(flows_.size() - 1);
+}
+
+void FluidNetwork::FreeSlot(SlotId slot) {
+  Flow& flow = flows_[slot];
+  flow.state = FlowState::kFree;
+  flow.id = 0;
+  flow.nres = 0;
+  flow.promise = sim::VoidPromise();  // release the shared state eagerly
+  flow.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void FluidNetwork::MarkDirty(ResourceId r) {
+  if (dirty_stamp_[r] == dirty_cur_) return;
+  dirty_stamp_[r] = dirty_cur_;
+  dirty_.push_back(r);
+}
+
+void FluidNetwork::LinkFlow(SlotId slot) {
+  Flow& flow = flows_[slot];
+  for (std::uint8_t i = 0; i < flow.nres; ++i) {
+    auto& list = res_flows_[flow.res[i]];
+    flow.pos[i] = static_cast<std::uint32_t>(list.size());
+    list.push_back(slot);
+  }
+}
+
+void FluidNetwork::UnlinkFlow(SlotId slot) {
+  Flow& flow = flows_[slot];
+  for (std::uint8_t i = 0; i < flow.nres; ++i) {
+    const ResourceId r = flow.res[i];
+    auto& list = res_flows_[r];
+    const std::uint32_t idx = flow.pos[i];
+    const SlotId moved = list.back();
+    list[idx] = moved;
+    list.pop_back();
+    if (moved != slot) {
+      Flow& other = flows_[moved];
+      for (std::uint8_t j = 0; j < other.nres; ++j) {
+        if (other.res[j] == r) {
+          other.pos[j] = idx;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void FluidNetwork::RunReallocate() {
   Reallocate();
+  dirty_.clear();
+  ++dirty_cur_;
+}
+
+void FluidNetwork::Activate(SlotId slot, std::uint64_t id) {
+  AdvanceProgress();
+  Flow& flow = flows_[slot];
+  assert(flow.state == FlowState::kStaged && flow.id == id);
+  flow.state = FlowState::kActive;
+  ++active_count_;
+  flow.active_pos = static_cast<std::uint32_t>(active_slots_.size());
+  active_slots_.push_back(slot);
+  active_rr_.push_back({flow.bytes, 0.0});
+  completion_order_.emplace(id, slot);
+  for (std::uint8_t i = 0; i < flow.nres; ++i) {
+    ++counts_[flow.res[i]];
+    MarkDirty(flow.res[i]);
+  }
+  LinkFlow(slot);
+  RunReallocate();
   ScheduleNextCompletion();
 }
 
@@ -112,9 +211,9 @@ void FluidNetwork::AdvanceProgress() {
   const sim::SimTime now = sim_.now();
   if (now == last_advance_) return;
   const double elapsed_sec = units::ToSeconds(now - last_advance_);
-  for (auto& [id, flow] : active_) {
-    flow.remaining -= flow.rate * elapsed_sec;
-    if (flow.remaining < 0.0) flow.remaining = 0.0;
+  for (ActiveRR& rr : active_rr_) {
+    rr.remaining -= rr.rate * elapsed_sec;
+    if (rr.remaining < 0.0) rr.remaining = 0.0;
   }
   last_advance_ = now;
 }
@@ -123,28 +222,58 @@ void FluidNetwork::FinishDueFlows() {
   // One nanosecond of slack at the current rate: the completion event is
   // rounded up to a whole nanosecond, so a due flow can retain up to one
   // nanosecond's worth of bytes.
-  std::vector<std::uint64_t> done;
-  for (auto& [id, flow] : active_) {
-    const double slack =
-        std::max(kDoneEpsilonBytes, flow.rate * 1.5e-9);
-    if (flow.remaining <= slack) done.push_back(id);
+  due_scratch_.clear();
+  for (std::size_t i = 0; i < active_rr_.size(); ++i) {
+    const ActiveRR& rr = active_rr_[i];
+    const double slack = std::max(kDoneEpsilonBytes, rr.rate * 1.5e-9);
+    if (rr.remaining <= slack) {
+      due_scratch_.emplace_back(flows_[active_slots_[i]].id,
+                                active_slots_[i]);
+    }
   }
-  for (std::uint64_t id : done) {
-    auto it = active_.find(id);
-    for (ResourceId r : it->second.resources) --counts_[r];
-    it->second.promise.Set(sim::Done{});
-    active_.erase(it);
+  if (due_scratch_.size() > 1) {
+    // Several flows complete at the same instant. Their fulfillment order
+    // decides which waiter resumes first, and the pinned event digests were
+    // recorded when flows lived in an id-keyed unordered_map — so re-collect
+    // the due set in the shadow map's iteration order, which reproduces that
+    // historical container order exactly (same keys, same hash, same rehash
+    // sequence). Single completions (the overwhelmingly common case) never
+    // touch the shadow map.
+    due_scratch_.clear();
+    for (const auto& [id, slot] : completion_order_) {
+      const ActiveRR& rr = active_rr_[flows_[slot].active_pos];
+      const double slack = std::max(kDoneEpsilonBytes, rr.rate * 1.5e-9);
+      if (rr.remaining <= slack) due_scratch_.emplace_back(id, slot);
+    }
+  }
+  for (const auto& [id, slot] : due_scratch_) {
+    Flow& flow = flows_[slot];
+    for (std::uint8_t i = 0; i < flow.nres; ++i) {
+      --counts_[flow.res[i]];
+      MarkDirty(flow.res[i]);
+    }
+    UnlinkFlow(slot);
+    const SlotId moved = active_slots_.back();
+    active_slots_[flow.active_pos] = moved;
+    active_rr_[flow.active_pos] = active_rr_.back();
+    flows_[moved].active_pos = flow.active_pos;
+    active_slots_.pop_back();
+    active_rr_.pop_back();
+    flow.promise.Set(sim::Done{});
+    --active_count_;
+    completion_order_.erase(id);
+    FreeSlot(slot);
   }
 }
 
 void FluidNetwork::ScheduleNextCompletion() {
   ++completion_generation_;
-  if (active_.empty()) return;
+  if (active_count_ == 0) return;
 
   double min_finish_sec = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : active_) {
-    assert(flow.rate > 0.0 && "active flow with zero rate");
-    min_finish_sec = std::min(min_finish_sec, flow.remaining / flow.rate);
+  for (const ActiveRR& rr : active_rr_) {
+    assert(rr.rate > 0.0 && "active flow with zero rate");
+    min_finish_sec = std::min(min_finish_sec, rr.remaining / rr.rate);
   }
   auto delay = static_cast<sim::SimTime>(
       std::ceil(min_finish_sec * static_cast<double>(units::kNanosPerSec)));
@@ -153,44 +282,77 @@ void FluidNetwork::ScheduleNextCompletion() {
     if (generation != completion_generation_) return;  // superseded
     AdvanceProgress();
     FinishDueFlows();
-    Reallocate();
+    RunReallocate();
     ScheduleNextCompletion();
   });
 }
 
-void FairShareNetwork::Reallocate() {
-  for (auto& [id, flow] : active_) {
-    double rate = std::numeric_limits<double>::infinity();
-    for (ResourceId r : flow.resources) {
-      rate = std::min(rate, ResourceCapacity(r) /
-                                static_cast<double>(ResourceFlowCount(r)));
-    }
-    flow.rate = rate;
+// ---------------------------------------------------------------------------
+// Fair share
+
+void FairShareNetwork::RecomputeFlow(Flow& flow) {
+  double rate = std::numeric_limits<double>::infinity();
+  for (std::uint8_t i = 0; i < flow.nres; ++i) {
+    rate = std::min(rate, ResourceCapacity(flow.res[i]) /
+                              static_cast<double>(
+                                  ResourceFlowCount(flow.res[i])));
+  }
+  set_rate(flow, rate);
+}
+
+void FairShareNetwork::ReallocateExact() {
+  for (Flow& flow : flows_) {
+    if (flow.state != FlowState::kActive) continue;
+    RecomputeFlow(flow);
   }
 }
 
-void WaterfillNetwork::Reallocate() {
+void FairShareNetwork::Reallocate() {
+  if (exact_solver()) {
+    ReallocateExact();
+    return;
+  }
+  // A flow's rate reads only its own resources' capacity and count, so only
+  // flows crossing a resource whose count changed can move; everyone else
+  // would recompute the same min() from bit-identical inputs.
+  ++visit_cur_;
+  for (ResourceId r : DirtyResources()) {
+    for (SlotId slot : res_flows_[r]) {
+      Flow& flow = flows_[slot];
+      if (flow.visit == visit_cur_) continue;
+      flow.visit = visit_cur_;
+      RecomputeFlow(flow);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Water-filling
+
+void WaterfillNetwork::ReallocateExact() {
   // Progressive filling: repeatedly find the resource whose remaining
   // capacity divided by its unfixed flows is smallest, freeze those flows at
   // that fair share, charge the frozen rates to their other resources, and
-  // continue until every flow is frozen.
-  if (active_.empty()) return;
+  // continue until every flow is frozen. This is the original from-scratch
+  // solver, kept verbatim as the reference oracle for the incremental arm.
+  if (active_flows() == 0) return;
 
   struct ResState {
     double residual = 0.0;
     std::uint32_t unfixed = 0;
   };
   std::unordered_map<ResourceId, ResState> res;
-  for (auto& [id, flow] : active_) {
-    flow.rate = -1.0;  // -1 marks "not yet frozen"
-    for (ResourceId r : flow.resources) {
-      auto& state = res[r];
-      state.residual = ResourceCapacity(r);
+  for (Flow& flow : flows_) {
+    if (flow.state != FlowState::kActive) continue;
+    set_rate(flow, -1.0);  // -1 marks "not yet frozen"
+    for (std::uint8_t i = 0; i < flow.nres; ++i) {
+      auto& state = res[flow.res[i]];
+      state.residual = ResourceCapacity(flow.res[i]);
       ++state.unfixed;
     }
   }
 
-  std::size_t remaining_flows = active_.size();
+  std::size_t remaining_flows = active_flows();
   while (remaining_flows > 0) {
     double min_share = std::numeric_limits<double>::infinity();
     for (const auto& [r, state] : res) {
@@ -204,21 +366,21 @@ void WaterfillNetwork::Reallocate() {
     // fair share equals the minimum, within tolerance).
     const double threshold = min_share * (1.0 + 1e-12) + 1e-9;
     std::size_t frozen_this_round = 0;
-    for (auto& [id, flow] : active_) {
-      if (flow.rate >= 0.0) continue;
+    for (Flow& flow : flows_) {
+      if (flow.state != FlowState::kActive || rate_of(flow) >= 0.0) continue;
       bool bottlenecked = false;
-      for (ResourceId r : flow.resources) {
-        const auto& state = res[r];
+      for (std::uint8_t i = 0; i < flow.nres; ++i) {
+        const auto& state = res[flow.res[i]];
         if (state.residual / static_cast<double>(state.unfixed) <= threshold) {
           bottlenecked = true;
           break;
         }
       }
       if (!bottlenecked) continue;
-      flow.rate = min_share;
+      set_rate(flow, min_share);
       ++frozen_this_round;
-      for (ResourceId r : flow.resources) {
-        auto& state = res[r];
+      for (std::uint8_t i = 0; i < flow.nres; ++i) {
+        auto& state = res[flow.res[i]];
         state.residual = std::max(0.0, state.residual - min_share);
         --state.unfixed;
       }
@@ -227,6 +389,108 @@ void WaterfillNetwork::Reallocate() {
     remaining_flows -= frozen_this_round;
   }
 }
+
+void WaterfillNetwork::SolveComponent(const std::vector<SlotId>& flow_slots) {
+  comp_res_.clear();
+  ++res_cur_;
+  for (SlotId slot : flow_slots) {
+    Flow& flow = flows_[slot];
+    set_rate(flow, -1.0);  // -1 marks "not yet frozen"
+    for (std::uint8_t i = 0; i < flow.nres; ++i) {
+      const ResourceId r = flow.res[i];
+      if (res_stamp_[r] != res_cur_) {
+        res_stamp_[r] = res_cur_;
+        residual_[r] = ResourceCapacity(r);
+        unfixed_[r] = 0;
+        comp_res_.push_back(r);
+      }
+      ++unfixed_[r];
+    }
+  }
+
+  std::size_t remaining_flows = flow_slots.size();
+  while (remaining_flows > 0) {
+    double min_share = std::numeric_limits<double>::infinity();
+    for (ResourceId r : comp_res_) {
+      if (unfixed_[r] == 0) continue;
+      min_share = std::min(min_share,
+                           residual_[r] / static_cast<double>(unfixed_[r]));
+    }
+    assert(std::isfinite(min_share));
+
+    const double threshold = min_share * (1.0 + 1e-12) + 1e-9;
+    std::size_t frozen_this_round = 0;
+    for (SlotId slot : flow_slots) {
+      Flow& flow = flows_[slot];
+      if (rate_of(flow) >= 0.0) continue;
+      bool bottlenecked = false;
+      for (std::uint8_t i = 0; i < flow.nres; ++i) {
+        const ResourceId r = flow.res[i];
+        if (residual_[r] / static_cast<double>(unfixed_[r]) <= threshold) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      set_rate(flow, min_share);
+      ++frozen_this_round;
+      for (std::uint8_t i = 0; i < flow.nres; ++i) {
+        const ResourceId r = flow.res[i];
+        residual_[r] = std::max(0.0, residual_[r] - min_share);
+        --unfixed_[r];
+      }
+    }
+    assert(frozen_this_round > 0 && "water-filling failed to make progress");
+    remaining_flows -= frozen_this_round;
+  }
+}
+
+void WaterfillNetwork::Reallocate() {
+  if (exact_solver()) {
+    ReallocateExact();
+    return;
+  }
+  if (res_stamp_.size() < res_flows_.size()) {
+    res_stamp_.resize(res_flows_.size(), 0);
+    residual_.resize(res_flows_.size(), 0.0);
+    unfixed_.resize(res_flows_.size(), 0);
+  }
+  // Rate changes cascade only along shared resources, so re-solving the
+  // connected component(s) of the flow/resource graph reachable from the
+  // dirty resources reproduces the global solution for every flow that can
+  // have moved; disjoint components are independent up to the freeze
+  // threshold's sub-nano coupling.
+  comp_flows_.clear();
+  bfs_stack_.clear();
+  ++res_cur_;
+  for (ResourceId r : DirtyResources()) {
+    if (res_stamp_[r] == res_cur_) continue;
+    res_stamp_[r] = res_cur_;
+    bfs_stack_.push_back(r);
+  }
+  ++visit_cur_;
+  while (!bfs_stack_.empty()) {
+    const ResourceId r = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (SlotId slot : res_flows_[r]) {
+      Flow& flow = flows_[slot];
+      if (flow.visit == visit_cur_) continue;
+      flow.visit = visit_cur_;
+      comp_flows_.push_back(slot);
+      for (std::uint8_t i = 0; i < flow.nres; ++i) {
+        const ResourceId r2 = flow.res[i];
+        if (res_stamp_[r2] != res_cur_) {
+          res_stamp_[r2] = res_cur_;
+          bfs_stack_.push_back(r2);
+        }
+      }
+    }
+  }
+  if (!comp_flows_.empty()) SolveComponent(comp_flows_);
+}
+
+// ---------------------------------------------------------------------------
+// Topology presets
 
 NetworkConfig Das4Ipoib(std::uint32_t nodes) {
   NetworkConfig config;

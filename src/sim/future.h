@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/checker.h"
+#include "sim/pool_alloc.h"
 #include "sim/simulation.h"
 
 namespace memfs::sim {
@@ -88,8 +89,11 @@ class Promise {
   // use (lets aggregates hold a Promise member).
   Promise() = default;
 
+  // allocate_shared puts control block + state in one pooled block, so a
+  // promise/future pair costs zero heap traffic once the pool is warm.
   explicit Promise(Simulation& sim)
-      : state_(std::make_shared<detail::FutureState<T>>(&sim)) {}
+      : state_(std::allocate_shared<detail::FutureState<T>>(
+            detail::PoolAllocator<detail::FutureState<T>>{}, &sim)) {}
 
   bool valid() const { return state_ != nullptr; }
 

@@ -1,6 +1,8 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "sim/checker.h"
 
@@ -20,32 +22,71 @@ std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
 
 }  // namespace
 
-void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule into the simulated past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+Simulation::~Simulation() {
+  // Destroy never-run callbacks (e.g. a RunUntil stopped mid-workload). The
+  // cells themselves die with cell_chunks_.
+  for (const HeapNode& node : heap_) {
+    Cell& cell = CellAt(node.cell);
+    cell.op(cell.storage, /*run=*/false);
+  }
 }
 
-void Simulation::Resume(std::coroutine_handle<> handle, SimTime delay) {
-  Schedule(delay, [handle] { handle.resume(); });
+void Simulation::HeapPush(HeapNode node) {
+  // Sift-up in a 4-ary heap: parent of i is (i-1)/4.
+  std::size_t i = heap_.size();
+  heap_.push_back(node);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!NodeBefore(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Simulation::HeapNode Simulation::HeapPop() {
+  assert(!heap_.empty());
+  const HeapNode top = heap_.front();
+  const HeapNode last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift-down: children of i are 4i+1 .. 4i+4.
+    std::size_t i = 0;
+    const std::size_t size = heap_.size();
+    while (true) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= size) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, size);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (NodeBefore(heap_[c], heap_[best])) best = c;
+      }
+      if (!NodeBefore(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 bool Simulation::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the event is copied out so that callbacks
-  // may schedule further events while we run this one.
-  Event event = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  const HeapNode node = HeapPop();
   // Tell the clock observer time is about to advance, before the event at
   // the new instant runs: observed state is exactly "everything up to the
   // old time", which is what makes window samples exact. Observers never
   // touch the queue, so the digest below is unaffected.
-  if (clock_observer_ != nullptr && event.time > now_) {
-    clock_observer_->OnClockAdvance(event.time);
+  if (clock_observer_ != nullptr && node.time > now_) {
+    clock_observer_->OnClockAdvance(node.time);
   }
-  now_ = event.time;
+  now_ = node.time;
   ++events_processed_;
-  digest_ = FnvMix(FnvMix(digest_, event.time), event.seq);
-  event.fn();
+  digest_ = FnvMix(FnvMix(digest_, node.time), node.seq);
+  Cell& cell = CellAt(node.cell);
+  cell.op(cell.storage, /*run=*/true);
+  // Recycle only after the callback finished: events it scheduled must not
+  // reuse the cell whose storage is still live above.
+  free_cells_.push_back(node.cell);
   return true;
 }
 
@@ -59,7 +100,7 @@ SimTime Simulation::Run() {
 }
 
 SimTime Simulation::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!heap_.empty() && heap_.front().time <= deadline) {
     Step();
   }
   if (now_ < deadline) {

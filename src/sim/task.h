@@ -13,7 +13,10 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+
+#include "sim/pool_alloc.h"
 
 namespace memfs::sim {
 
@@ -43,6 +46,18 @@ struct Task {
     ~promise_type() {
       detail::NoteTaskDestroyed(
           std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
+
+    // Coroutine frames are the simulator's hottest heap traffic (one per
+    // simulated I/O); recycle them through the size-class pool. The pool's
+    // block header supplies the size, so the unsized delete is fine even for
+    // frames whose size the compiler no longer knows at destruction.
+    static void* operator new(std::size_t size) {
+      return detail::PoolAlloc(size);
+    }
+    static void operator delete(void* p) noexcept { detail::PoolFree(p); }
+    static void operator delete(void* p, std::size_t) noexcept {
+      detail::PoolFree(p);
     }
   };
 };

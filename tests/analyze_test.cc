@@ -335,6 +335,60 @@ TEST(AnalyzeUnorderedSinkTest, SuppressionIsHonored) {
   EXPECT_EQ(CountRule(Analyze({{"u.cc", tu}}, true), "unordered-sink"), 1);
 }
 
+// Regression fixture for the FluidNetwork::Reallocate() hazard removed by
+// the slot-vector refactor (ISSUE 9): per-flow rate recomputation iterating
+// a std::unordered_map of active flows. The historical code escaped this
+// rule only because the loop body was a pure per-flow write whose consumers
+// (the min() in the completion rescheduling) were order-independent; the
+// moment the rescheduling call is reachable from the loop body — the
+// natural next edit — the iteration order becomes part of the event stream.
+// This fixture pins that shape as flagged, one call deep, cross-TU.
+TEST(AnalyzeUnorderedSinkTest, FlowMapIterationReachingRescheduleIsFlagged) {
+  const std::string sched = R"cc(
+    void ScheduleNextCompletion(sim::Simulation& sim, double eta) {
+      sim.ScheduleAt(eta, FinishDueFlows);
+    }
+  )cc";
+  const std::string net = R"cc(
+    std::unordered_map<std::uint64_t, Flow> active_;
+    void Reallocate(sim::Simulation& sim) {
+      for (auto& [id, flow] : active_) {
+        flow.rate = ShareOf(flow);
+        ScheduleNextCompletion(sim, flow.remaining / flow.rate);
+      }
+    }
+  )cc";
+  const auto findings = Analyze({{"sched.cc", sched}, {"net.cc", net}});
+  ASSERT_EQ(CountRule(findings, "unordered-sink"), 1);
+  const Finding* f = FindRule(findings, "unordered-sink");
+  EXPECT_EQ(f->file, "net.cc");
+  EXPECT_NE(f->message.find("ScheduleNextCompletion"), std::string::npos)
+      << f->message;
+}
+
+// The post-refactor shape — the same recomputation walking a dense slot
+// vector — is clean even with the rescheduling call in the loop body:
+// vector iteration order is deterministic.
+TEST(AnalyzeUnorderedSinkTest, SlotVectorReallocateIsClean) {
+  const std::string sched = R"cc(
+    void ScheduleNextCompletion(sim::Simulation& sim, double eta) {
+      sim.ScheduleAt(eta, FinishDueFlows);
+    }
+  )cc";
+  const std::string net = R"cc(
+    std::vector<SlotId> active_slots_;
+    void Reallocate(sim::Simulation& sim) {
+      for (const SlotId slot : active_slots_) {
+        Flow& flow = flows_[slot];
+        flow.rate = ShareOf(flow);
+        ScheduleNextCompletion(sim, flow.remaining / flow.rate);
+      }
+    }
+  )cc";
+  const auto findings = Analyze({{"sched.cc", sched}, {"net.cc", net}});
+  EXPECT_EQ(CountRule(findings, "unordered-sink"), 0);
+}
+
 // --- determinism: pointer-order -------------------------------------------
 
 TEST(AnalyzePointerOrderTest, DefaultComparatorSortOfPointersIsFlagged) {

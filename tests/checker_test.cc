@@ -213,5 +213,60 @@ TEST(EventDigestTest, DigestCoversEveryProcessedEvent) {
   EXPECT_GT(sim.events_processed(), 0u);
 }
 
+// --- Coroutine-frame recycler (ISSUE 9) ---
+//
+// Task promise frames now come from the size-class recycling pool
+// (sim/pool_alloc.h): a finished frame's memory is immediately handed to the
+// next same-sized frame. The checker tracks frames by address, so recycling
+// is exactly the aliasing scenario that could mask leaks or double-frees —
+// these tests pin that detection still fires.
+
+TEST(SimCheckerRecyclerTest, RecycledFramesStayBalanced) {
+  sim::Simulation sim;
+  sim::SimChecker checker(sim);
+  sim::Semaphore sem(sim, 2, "churn-permits");
+  // Sequential waves: every wave's frames are freed before the next wave
+  // allocates, so (without sanitizer bypass) later waves run entirely on
+  // recycled frames — live-task accounting must stay exact through reuse.
+  for (int wave = 0; wave < 50; ++wave) {
+    bool a = false;
+    bool b = false;
+    BalancedHold(sim, sem, a);
+    BalancedHold(sim, sem, b);
+    sim.Run();
+    EXPECT_TRUE(a);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(checker.live_tasks(), 0u) << "wave " << wave;
+  }
+  EXPECT_TRUE(checker.Finish().empty()) << checker.Summary();
+}
+
+TEST(SimCheckerRecyclerTest, LeakDetectionSurvivesFrameReuse) {
+  sim::Simulation sim;
+  sim::SimChecker checker(sim);
+  // Churn frames through the pool first, so the leaked frame below occupies
+  // recycled memory whose previous tenant was properly destroyed — a stale
+  // address-keyed entry would make this report a false double or nothing.
+  sim::Semaphore sem(sim, 1, "warmup-permits");
+  for (int i = 0; i < 20; ++i) {
+    bool done = false;
+    BalancedHold(sim, sem, done);
+    sim.Run();
+    ASSERT_TRUE(done);
+  }
+  EXPECT_EQ(checker.live_tasks(), 0u);
+
+  std::coroutine_handle<> parked;
+  ParkForever(parked);
+  sim.Run();
+  EXPECT_EQ(checker.live_tasks(), 1u);
+  checker.Finish();
+  ASSERT_FALSE(checker.findings().empty());
+  EXPECT_EQ(checker.findings()[0].rule, "leaked-task");
+
+  parked.destroy();  // reclaim the deliberately parked frame
+  EXPECT_EQ(checker.live_tasks(), 0u);
+}
+
 }  // namespace
 }  // namespace memfs

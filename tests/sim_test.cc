@@ -1,10 +1,16 @@
 // Unit tests for the discrete-event core: event ordering, coroutine tasks,
 // futures, semaphores, wait groups, determinism.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sim/future.h"
+#include "sim/pool_alloc.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -249,6 +255,153 @@ TEST(DeterminismTest, IdenticalRunsProduceIdenticalTraces) {
   const auto b = run();
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+// --- Event heap (ISSUE 9 rewrite) ---
+//
+// The 4-ary pooled heap replaced std::priority_queue<Event>. Its contract is
+// that pops come out in (time, insertion seq) order — the exact total order
+// the old queue used — so the event stream, and therefore EventDigest(), is
+// byte-identical. These tests drive randomized schedules against a reference
+// model of that order and against an independently computed digest.
+
+// Order-sensitive FNV-1a over (time, seq) pairs, mirroring Simulation's
+// digest definition.
+std::uint64_t ReferenceDigest(
+    const std::vector<std::pair<SimTime, std::uint64_t>>& events) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [time, seq] : events) {
+    mix(time);
+    mix(seq);
+  }
+  return h;
+}
+
+TEST(EventHeapTest, RandomizedScheduleMatchesReferenceOrderAndDigest) {
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    Simulation sim;
+    std::uint64_t state = 0x9e3779b97f4a7c15ull * (trial + 1);
+    auto next = [&state] {  // splitmix64
+      std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    // Heavily duplicated times force the seq tie-break to decide most pops.
+    std::vector<std::pair<SimTime, std::uint64_t>> expected;
+    std::vector<std::pair<SimTime, std::uint64_t>> popped;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      const SimTime when = next() % 16;
+      expected.emplace_back(when, i);
+      sim.ScheduleAt(when, [&popped, &sim, seq = i] {
+        popped.emplace_back(sim.now(), seq);
+      });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });  // stable = insertion order breaks ties
+    sim.Run();
+    ASSERT_EQ(popped, expected) << "trial " << trial;
+    // The digest folds (time, internal seq); internal seqs are the insertion
+    // indices here because nothing else scheduled, so the reference applies.
+    EXPECT_EQ(sim.EventDigest(), ReferenceDigest(expected));
+  }
+}
+
+TEST(EventHeapTest, SchedulingDuringRunKeepsTotalOrder) {
+  // Callbacks scheduling new events mid-run exercise cell reuse (freed cells
+  // are recycled immediately) and sift-down across chunk boundaries.
+  Simulation sim;
+  std::vector<std::pair<SimTime, int>> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.ScheduleAt(10 * (i + 1), [&order, &sim, i] {
+      order.emplace_back(sim.now(), i);
+      // Same-time follow-up: must run after all previously scheduled events
+      // at this instant (higher seq), before any later time.
+      sim.Schedule(0, [&order, &sim, i] {
+        order.emplace_back(sim.now(), 100 + i);
+      });
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[2 * i].second, i);
+    EXPECT_EQ(order[2 * i + 1].second, 100 + i);
+    EXPECT_EQ(order[2 * i].first, order[2 * i + 1].first);
+  }
+}
+
+TEST(EventHeapTest, LargeCallablesAreBoxedCorrectly) {
+  // Callables above the 56-byte inline cell budget take the boxed path;
+  // both must run and destroy exactly once.
+  Simulation sim;
+  struct Big {
+    char payload[128];
+  };
+  Big big{};
+  big.payload[0] = 42;
+  int runs = 0;
+  auto shared = std::make_shared<int>(7);  // destruction tracked by use_count
+  std::weak_ptr<int> watch = shared;
+  sim.Schedule(5, [big, shared, &runs] {
+    runs += big.payload[0] + *shared;
+  });
+  shared.reset();
+  EXPECT_FALSE(watch.expired());  // the boxed copy keeps it alive
+  sim.Run();
+  EXPECT_EQ(runs, 49);
+  EXPECT_TRUE(watch.expired());  // boxed callable destroyed after running
+}
+
+// --- Frame pool (ISSUE 9) ---
+
+#ifndef MEMFS_POOL_ALLOC_BYPASS
+TEST(PoolAllocTest, SameSizeClassRecyclesTheBlock) {
+  // LIFO free list: freeing then reallocating within a size class returns
+  // the identical block (this is the property that removes frame churn).
+  void* a = detail::PoolAlloc(48);
+  detail::PoolFree(a);
+  void* b = detail::PoolAlloc(40);  // same 64-byte class as 48
+  EXPECT_EQ(a, b);
+  detail::PoolFree(b);
+}
+
+TEST(PoolAllocTest, DistinctClassesDoNotShareBlocks) {
+  void* small = detail::PoolAlloc(16);
+  detail::PoolFree(small);
+  void* large = detail::PoolAlloc(512);  // different class: no reuse
+  EXPECT_NE(small, large);
+  detail::PoolFree(large);
+}
+#endif  // MEMFS_POOL_ALLOC_BYPASS
+
+TEST(PoolAllocTest, OversizeAllocationsFallBackToTheHeap) {
+  // Payloads past the largest size class bypass the free lists entirely but
+  // must still round-trip through PoolFree.
+  void* p = detail::PoolAlloc(64 * 1024);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 64 * 1024);  // the block must really be that big
+  detail::PoolFree(p);
+}
+
+TEST(EventHeapTest, UnrunEventsAreDestroyedWithTheSimulation) {
+  auto shared = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = shared;
+  {
+    Simulation sim;
+    sim.Schedule(100, [shared] { (void)shared; });
+    shared.reset();
+    EXPECT_FALSE(watch.expired());
+  }  // ~Simulation drains the heap without running the callbacks
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace

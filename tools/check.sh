@@ -33,6 +33,14 @@ echo "== static analysis: memfs_analyze =="
 "$root/build/tools/memfs_analyze" --stats \
   "$root/src" "$root/tools" "$root/bench" "$root/tests"
 
+# Simulator speed gate: re-run the fig08 64-node point and compare
+# sim-events/sec against the committed BENCH_scale.json trajectory; fails on
+# a >20% regression. On hardware slower than the baseline's, widen the gate
+# with MEMFS_PERF_GATE_TOLERANCE (e.g. 0.5) instead of skipping it.
+echo "== perf gate: fig08 64-node sim-events/sec vs BENCH_scale.json =="
+"$root/build/bench/micro_latency_profile" --scale \
+  --baseline="$root/BENCH_scale.json" > /dev/null
+
 echo "== sanitizers: configure + build (address,undefined) =="
 cmake -S "$root" -B "$root/build-asan" \
   -DMEMFS_SANITIZE=address,undefined >/dev/null
@@ -40,6 +48,14 @@ cmake --build "$root/build-asan" -j "$jobs"
 
 echo "== sanitizers: determinism gates =="
 ctest --test-dir "$root/build-asan" -L determinism --output-on-failure
+
+# The event-cell slab and the frame pool run under ASan/UBSan here (the
+# pool's free lists bypass to plain new/delete under sanitizers so every
+# frame keeps its true lifetime — the slab does not bypass and is fully
+# checked).
+echo "== sanitizers: event heap + frame pool tests =="
+ctest --test-dir "$root/build-asan" \
+  -R 'EventHeap|PoolAlloc|SimChecker' --output-on-failure
 
 # TSan and ASan cannot live in one binary, so thread gets its own tree.
 # Probe first: some toolchains ship without libtsan.
@@ -52,6 +68,10 @@ if printf 'int main(){return 0;}' | \
 
   echo "== sanitizers: determinism gates under TSan =="
   ctest --test-dir "$root/build-tsan" -L determinism --output-on-failure
+
+  echo "== sanitizers: event heap + frame pool tests under TSan =="
+  ctest --test-dir "$root/build-tsan" \
+    -R 'EventHeap|PoolAlloc|SimChecker' --output-on-failure
 else
   echo "== sanitizers: thread skipped (toolchain has no libtsan) =="
 fi
