@@ -46,6 +46,40 @@ void LatencyHistogram::Record(std::uint64_t nanos) {
   max_ = std::max(max_, nanos);
 }
 
+namespace {
+
+// Worst-first order with a fully deterministic tie-break: larger sample
+// first; among equals the one that completed earlier, then the smaller
+// trace id, then the smaller span id.
+bool WorseExemplar(const Exemplar& a, const Exemplar& b) {
+  if (a.nanos != b.nanos) return a.nanos > b.nanos;
+  if (a.at != b.at) return a.at < b.at;
+  if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+  return a.span_id < b.span_id;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t nanos, const Exemplar& exemplar) {
+  Record(nanos);
+  Exemplar sample = exemplar;
+  sample.nanos = nanos;
+  if (exemplars_.size() == kExemplarCapacity &&
+      !WorseExemplar(sample, exemplars_.back())) {
+    return;  // not among the worst K of this window
+  }
+  const auto at = std::upper_bound(exemplars_.begin(), exemplars_.end(),
+                                   sample, WorseExemplar);
+  exemplars_.insert(at, sample);
+  if (exemplars_.size() > kExemplarCapacity) exemplars_.pop_back();
+}
+
+std::vector<Exemplar> LatencyHistogram::TakeExemplars() {
+  std::vector<Exemplar> out;
+  out.swap(exemplars_);
+  return out;
+}
+
 double LatencyHistogram::PercentileNanos(double q) const {
   if (count_ == 0) return 0.0;
   // The interpolation below returns bucket upper bounds; at the extremes the

@@ -15,14 +15,48 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace memfs {
+
+// No storage server is associated with this sample (vfs-level exemplars).
+inline constexpr std::uint32_t kNoExemplarServer = ~0u;
+
+// One exemplar: a recorded sample plus the identity of the request behind
+// it, in the Prometheus-exemplar sense — enough to jump from an aggregate
+// (a histogram, a breached SLO window) to the one trace that explains it.
+// Ids are plain integers so common/ stays free of trace dependencies; they
+// are the trace::TraceId / trace::SpanId of the operation's span.
+struct Exemplar {
+  std::uint64_t nanos = 0;     // the recorded sample value
+  std::uint64_t trace_id = 0;  // 0 = sample carries no trace identity
+  std::uint64_t span_id = 0;   // span rooted at the sampled operation
+  std::uint32_t node = 0;      // node that issued the operation
+  std::uint32_t server = kNoExemplarServer;  // storage server (kv-level ops)
+  std::uint64_t at = 0;        // simulated time the sample completed
+};
 
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 74;
+  // Worst samples retained between exemplar harvests (the monitor drains
+  // the reservoir at every window close, so this is the per-window top-K).
+  static constexpr std::size_t kExemplarCapacity = 8;
 
   void Record(std::uint64_t nanos);
+
+  // Records the sample and offers it to the exemplar reservoir: the
+  // kExemplarCapacity worst samples since the last TakeExemplars() are
+  // kept, ordered worst-first with a deterministic tie-break (earlier
+  // completion first, then smaller trace id, then smaller span id) so
+  // same-seed runs produce identical exemplar sets.
+  void Record(std::uint64_t nanos, const Exemplar& exemplar);
+
+  // Drains the reservoir: returns the retained exemplars worst-first and
+  // resets it for the next window.
+  std::vector<Exemplar> TakeExemplars();
+
+  const std::vector<Exemplar>& exemplars() const { return exemplars_; }
 
   std::uint64_t count() const { return count_; }
   std::uint64_t min_nanos() const { return count_ ? min_ : 0; }
@@ -48,6 +82,10 @@ class LatencyHistogram {
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = ~0ull;
   std::uint64_t max_ = 0;
+  // Worst samples since the last harvest, kept sorted worst-first; empty
+  // until the first Record() with an exemplar, so plain recording paths
+  // never touch it.
+  std::vector<Exemplar> exemplars_;
 };
 
 class MetricsRegistry {
@@ -75,6 +113,12 @@ class MetricsRegistry {
   std::int64_t GaugeValue(std::string_view name) const;
 
   const std::map<std::string, LatencyHistogram, std::less<>>& all() const {
+    return histograms_;
+  }
+  // Mutable view for exemplar harvesters (the monitor drains every
+  // histogram's reservoir at window close). Same deterministic map order
+  // as all().
+  std::map<std::string, LatencyHistogram, std::less<>>& mutable_all() {
     return histograms_;
   }
   const std::map<std::string, std::uint64_t, std::less<>>& counters() const {

@@ -1,0 +1,87 @@
+#include "diagnose/diagnose.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace memfs::diagnose {
+
+namespace {
+
+// Resolves which storage server a critical-path segment ran against: the
+// nearest ancestor-or-self span carrying a "server" annotation (every kv op
+// and attempt span is annotated this way by the kv client). Client-side
+// spans above the kv layer resolve to kNoServer.
+class ServerResolver {
+ public:
+  explicit ServerResolver(const std::deque<trace::SpanRecord>& spans,
+                          trace::TraceId trace) {
+    for (const trace::SpanRecord& span : spans) {
+      if (span.trace_id != trace) continue;
+      by_id_.emplace(span.span_id, &span);
+    }
+  }
+
+  std::uint32_t ServerOf(trace::SpanId span_id) const {
+    const auto cached = resolved_.find(span_id);
+    if (cached != resolved_.end()) return cached->second;
+    std::uint32_t server = kNoServer;
+    const auto it = by_id_.find(span_id);
+    if (it != by_id_.end()) {
+      const trace::SpanRecord& span = *it->second;
+      bool found = false;
+      for (const auto& [key, value] : span.args) {
+        if (key == "server") {
+          server = static_cast<std::uint32_t>(
+              std::strtoul(value.c_str(), nullptr, 10));
+          found = true;
+          break;
+        }
+      }
+      if (!found && span.parent_id != 0) server = ServerOf(span.parent_id);
+    }
+    resolved_.emplace(span_id, server);
+    return server;
+  }
+
+ private:
+  std::map<trace::SpanId, const trace::SpanRecord*> by_id_;
+  mutable std::map<trace::SpanId, std::uint32_t> resolved_;
+};
+
+}  // namespace
+
+ExemplarAttribution AttributeExemplar(
+    const trace::Tracer& tracer, const monitor::WindowExemplar& exemplar) {
+  ExemplarAttribution out;
+  out.exemplar = exemplar;
+  if (exemplar.sample.trace_id == 0) return out;
+  out.path = trace::ExtractCriticalPath(tracer.finished(),
+                                        exemplar.sample.trace_id,
+                                        exemplar.sample.span_id);
+  if (!out.path.found) return out;
+
+  ServerResolver resolver(tracer.finished(), exemplar.sample.trace_id);
+  std::map<std::uint32_t, sim::SimTime> per_server;
+  for (const trace::PathSegment& segment : out.path.segments) {
+    per_server[resolver.ServerOf(segment.span_id)] += segment.nanos();
+  }
+  const double window = static_cast<double>(out.path.window());
+  out.by_server.reserve(per_server.size());
+  for (const auto& [server, nanos] : per_server) {
+    ServerPathShare share;
+    share.server = server;
+    share.nanos = nanos;
+    share.share =
+        window == 0.0 ? 0.0 : static_cast<double>(nanos) / window;
+    out.by_server.push_back(share);
+  }
+  std::sort(out.by_server.begin(), out.by_server.end(),
+            [](const ServerPathShare& a, const ServerPathShare& b) {
+              if (a.nanos != b.nanos) return a.nanos > b.nanos;
+              return a.server < b.server;
+            });
+  return out;
+}
+
+}  // namespace memfs::diagnose

@@ -51,12 +51,33 @@ void SyncStorageGauges(const KvCluster::ServerSlotAccess& slot) {
            static_cast<std::int64_t>(slot.state->object_count()));
 }
 
-// Awaits an operation's future and records the client-observed latency.
+// Awaits an operation's future and records the client-observed latency. A
+// tag with a nonzero trace id also offers the sample to the histogram's
+// exemplar reservoir (common/metrics.h), so the monitor can link a bad
+// window back to this operation's span — and to the server it hit.
 template <typename T>
 sim::Task RecordKvLatency(sim::Future<T> future, sim::Simulation* sim,
-                          LatencyHistogram* histogram, sim::SimTime start) {
+                          LatencyHistogram* histogram, sim::SimTime start,
+                          Exemplar tag = {}) {
   (void)co_await future;
-  histogram->Record(sim->now() - start);
+  const std::uint64_t nanos = sim->now() - start;
+  if (tag.trace_id == 0) {
+    histogram->Record(nanos);
+    co_return;
+  }
+  tag.at = sim->now();
+  histogram->Record(nanos, tag);
+}
+
+// Exemplar tag for a kv-level operation: its op span plus the target server.
+Exemplar KvTagOf(const trace::TraceContext& op_span, net::NodeId client,
+                 std::uint32_t server) {
+  Exemplar tag;
+  tag.trace_id = op_span.trace_id;
+  tag.span_id = op_span.span_id;
+  tag.node = client;
+  tag.server = server;
+  return tag;
 }
 
 // Same, but records one observation per batch item so the per-op
@@ -624,7 +645,8 @@ sim::Future<Status> KvCluster::Mutate(net::NodeId client, std::uint32_t server,
       },
       std::move(done), op_span);
   if (metrics_ != nullptr) {
-    RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now());
+    RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now(),
+                    KvTagOf(op_span, client, server));
   }
   return future;
 }
@@ -710,7 +732,8 @@ sim::Future<Result<Bytes>> KvCluster::Get(net::NodeId client,
       },
       std::move(done), op_span);
   if (metrics_ != nullptr) {
-    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.get"), sim_.now());
+    RecordKvLatency(future, &sim_, &metrics_->Histogram("kv.get"), sim_.now(),
+                    KvTagOf(op_span, client, server));
   }
   return future;
 }
@@ -732,7 +755,8 @@ sim::Future<std::vector<BatchItemResult>> KvCluster::Batch(
   RunBatchWithRetry(server, kind, client, shared, std::move(done), op_span);
   if (metrics_ != nullptr) {
     const std::string metric = std::string("kv.batch.") + BatchKindName(kind);
-    RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now());
+    RecordKvLatency(future, &sim_, &metrics_->Histogram(metric), sim_.now(),
+                    KvTagOf(op_span, client, server));
     const std::string op_metric = std::string("kv.") + BatchKindName(kind);
     RecordKvItemLatencies(future, &sim_, &metrics_->Histogram(op_metric),
                           shared->size(), sim_.now());

@@ -557,11 +557,31 @@ namespace {
 
 // Awaits the operation's future and records its latency; spawned only when a
 // registry is configured, so the uninstrumented path stays allocation-free.
+// A tag with a nonzero trace id also offers the sample to the histogram's
+// exemplar reservoir, linking the aggregate back to the operation's span.
 template <typename T>
 sim::Task RecordLatency(sim::Future<T> future, sim::Simulation* sim,
-                        LatencyHistogram* histogram, sim::SimTime start) {
+                        LatencyHistogram* histogram, sim::SimTime start,
+                        Exemplar tag = {}) {
   (void)co_await future;
-  histogram->Record(sim->now() - start);
+  const std::uint64_t nanos = sim->now() - start;
+  if (tag.trace_id == 0) {
+    histogram->Record(nanos);
+    co_return;
+  }
+  tag.at = sim->now();
+  histogram->Record(nanos, tag);
+}
+
+// Exemplar tag for a vfs-level operation whose op span `ctx.trace` names:
+// the trace/span identity lets the flight recorder jump from a histogram's
+// worst sample to the one span subtree that explains it.
+Exemplar TagOf(const VfsContext& ctx) {
+  Exemplar tag;
+  tag.trace_id = ctx.trace.trace_id;
+  tag.span_id = ctx.trace.span_id;
+  tag.node = ctx.node;
+  return tag;
 }
 
 // Maps a metadata lookup failure for the caller: NOT_FOUND gets the
@@ -621,17 +641,21 @@ sim::Future<Result<FileHandle>> MemFs::Create(VfsContext ctx,
                                               std::string path) {
   sim::Promise<Result<FileHandle>> done(sim_);
   auto future = done.GetFuture();
+  // Open the op span here (not in the coroutine) so the latency recorder
+  // can tag its exemplar with the span's identity; DoCreate adopts it.
+  ctx.trace = trace::Child(ctx.trace, "vfs.create", "vfs");
   DoCreate(ctx, std::move(path), std::move(done));
   if (config_.metrics != nullptr) {
     RecordLatency(future, &sim_,
-                  &config_.metrics->Histogram("vfs.create"), sim_.now());
+                  &config_.metrics->Histogram("vfs.create"), sim_.now(),
+                  TagOf(ctx));
   }
   return future;
 }
 
 sim::Task MemFs::DoCreate(VfsContext ctx, std::string path,
                           sim::Promise<Result<FileHandle>> done) {
-  trace::ScopedSpan op_span(ctx.trace, "vfs.create", "vfs");
+  trace::ScopedSpan op_span = trace::ScopedSpan::Adopt(ctx.trace);
   const trace::TraceContext tctx = op_span.context();
   trace::Annotate(tctx, "path", path);
   {
@@ -688,17 +712,19 @@ sim::Future<Status> MemFs::Write(VfsContext ctx, FileHandle handle,
                                  Bytes data) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
+  ctx.trace = trace::Child(ctx.trace, "vfs.write", "vfs");
   DoWrite(ctx, handle, std::move(data), std::move(done));
   if (config_.metrics != nullptr) {
     RecordLatency(future, &sim_,
-                  &config_.metrics->Histogram("vfs.write"), sim_.now());
+                  &config_.metrics->Histogram("vfs.write"), sim_.now(),
+                  TagOf(ctx));
   }
   return future;
 }
 
 sim::Task MemFs::DoWrite(VfsContext ctx, FileHandle handle, Bytes data,
                          sim::Promise<Status> done) {
-  trace::ScopedSpan op_span(ctx.trace, "vfs.write", "vfs");
+  trace::ScopedSpan op_span = trace::ScopedSpan::Adopt(ctx.trace);
   const trace::TraceContext tctx = op_span.context();
   trace::Annotate(tctx, "bytes", std::to_string(data.size()));
   {
@@ -787,17 +813,19 @@ sim::Task MemFs::FlushStripe(OpenFile* file, std::string key, Bytes data,
 sim::Future<Status> MemFs::Flush(VfsContext ctx, FileHandle handle) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
+  ctx.trace = trace::Child(ctx.trace, "vfs.flush", "vfs");
   DoFlush(ctx, handle, std::move(done));
   if (config_.metrics != nullptr) {
     RecordLatency(future, &sim_,
-                  &config_.metrics->Histogram("vfs.flush"), sim_.now());
+                  &config_.metrics->Histogram("vfs.flush"), sim_.now(),
+                  TagOf(ctx));
   }
   return future;
 }
 
 sim::Task MemFs::DoFlush(VfsContext ctx, FileHandle handle,
                          sim::Promise<Status> done) {
-  trace::ScopedSpan op_span(ctx.trace, "vfs.flush", "vfs");
+  trace::ScopedSpan op_span = trace::ScopedSpan::Adopt(ctx.trace);
   const trace::TraceContext tctx = op_span.context();
   {
     trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
@@ -824,17 +852,19 @@ sim::Task MemFs::DoFlush(VfsContext ctx, FileHandle handle,
 sim::Future<Status> MemFs::Close(VfsContext ctx, FileHandle handle) {
   sim::Promise<Status> done(sim_);
   auto future = done.GetFuture();
+  ctx.trace = trace::Child(ctx.trace, "vfs.close", "vfs");
   DoClose(ctx, handle, std::move(done));
   if (config_.metrics != nullptr) {
     RecordLatency(future, &sim_,
-                  &config_.metrics->Histogram("vfs.close"), sim_.now());
+                  &config_.metrics->Histogram("vfs.close"), sim_.now(),
+                  TagOf(ctx));
   }
   return future;
 }
 
 sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
                          sim::Promise<Status> done) {
-  trace::ScopedSpan op_span(ctx.trace, "vfs.close", "vfs");
+  trace::ScopedSpan op_span = trace::ScopedSpan::Adopt(ctx.trace);
   const trace::TraceContext tctx = op_span.context();
   {
     trace::ScopedSpan gate(tctx, "fuse.enter", "queue");
@@ -887,17 +917,18 @@ sim::Task MemFs::DoClose(VfsContext ctx, FileHandle handle,
 sim::Future<Result<FileHandle>> MemFs::Open(VfsContext ctx, std::string path) {
   sim::Promise<Result<FileHandle>> done(sim_);
   auto future = done.GetFuture();
+  ctx.trace = trace::Child(ctx.trace, "vfs.open", "vfs");
   DoOpen(ctx, std::move(path), std::move(done));
   if (config_.metrics != nullptr) {
     RecordLatency(future, &sim_, &config_.metrics->Histogram("vfs.open"),
-                  sim_.now());
+                  sim_.now(), TagOf(ctx));
   }
   return future;
 }
 
 sim::Task MemFs::DoOpen(VfsContext ctx, std::string path,
                         sim::Promise<Result<FileHandle>> done) {
-  trace::ScopedSpan op_span(ctx.trace, "vfs.open", "vfs");
+  trace::ScopedSpan op_span = trace::ScopedSpan::Adopt(ctx.trace);
   const trace::TraceContext tctx = op_span.context();
   trace::Annotate(tctx, "path", path);
   {
@@ -960,10 +991,12 @@ sim::Future<Result<Bytes>> MemFs::Read(VfsContext ctx, FileHandle handle,
                                        std::uint64_t length) {
   sim::Promise<Result<Bytes>> done(sim_);
   auto future = done.GetFuture();
+  ctx.trace = trace::Child(ctx.trace, "vfs.read", "vfs");
   DoRead(ctx, handle, offset, length, std::move(done));
   if (config_.metrics != nullptr) {
     RecordLatency(future, &sim_,
-                  &config_.metrics->Histogram("vfs.read"), sim_.now());
+                  &config_.metrics->Histogram("vfs.read"), sim_.now(),
+                  TagOf(ctx));
   }
   return future;
 }
@@ -971,7 +1004,7 @@ sim::Future<Result<Bytes>> MemFs::Read(VfsContext ctx, FileHandle handle,
 sim::Task MemFs::DoRead(VfsContext ctx, FileHandle handle,
                         std::uint64_t offset, std::uint64_t length,
                         sim::Promise<Result<Bytes>> done) {
-  trace::ScopedSpan op_span(ctx.trace, "vfs.read", "vfs");
+  trace::ScopedSpan op_span = trace::ScopedSpan::Adopt(ctx.trace);
   const trace::TraceContext tctx = op_span.context();
   trace::Annotate(tctx, "offset", std::to_string(offset));
   trace::Annotate(tctx, "length", std::to_string(length));

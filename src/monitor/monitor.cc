@@ -68,6 +68,10 @@ void Monitor::WatchRegistry(const MetricsRegistry* registry) {
   registry_ = registry;
 }
 
+void Monitor::HarvestExemplars(MetricsRegistry* registry) {
+  exemplar_registry_ = registry;
+}
+
 std::size_t Monitor::SeriesIdFor(std::string_view name, SeriesKind kind) {
   const auto it = series_by_name_.find(name);
   if (it != series_by_name_.end()) return it->second;
@@ -180,6 +184,16 @@ void Monitor::CloseWindow(sim::SimTime end) {
       if (it == series_by_name_.end()) continue;
       window.values[it->second] =
           rate(series, static_cast<double>(histogram.count()));
+    }
+  }
+
+  if (exemplar_registry_ != nullptr) {
+    // Registry maps are ordered, so harvest order — and therefore the
+    // per-window exemplar layout — is deterministic.
+    for (auto& [name, histogram] : exemplar_registry_->mutable_all()) {
+      for (Exemplar& sample : histogram.TakeExemplars()) {
+        window.exemplars.push_back(WindowExemplar{name, sample});
+      }
     }
   }
 

@@ -64,13 +64,25 @@ struct SeriesInfo {
   SeriesKind kind = SeriesKind::kGauge;
 };
 
+// One exemplar harvested at a window close: the worst samples one histogram
+// recorded during the window, tagged with the trace identity of the request
+// behind each (common/metrics.h Exemplar).
+struct WindowExemplar {
+  std::string histogram;  // histogram name, e.g. "vfs.write"
+  Exemplar sample;
+};
+
 // One closed sampling window. `values` is indexed by series id; series that
 // appeared after this window closed are absent (shorter vector) — use
-// Monitor::Value, which reports NaN for them.
+// Monitor::Value, which reports NaN for them. `exemplars` is populated only
+// when HarvestExemplars is enabled: per histogram the top-K worst samples
+// recorded inside this window, histograms in name order, worst-first within
+// each.
 struct Window {
   sim::SimTime start = 0;
   sim::SimTime end = 0;
   std::vector<double> values;
+  std::vector<WindowExemplar> exemplars;
 };
 
 struct MonitorConfig {
@@ -94,6 +106,13 @@ class Monitor final : public sim::ClockObserver {
   // levels, counters and histogram counts as per-second rates. New names
   // are picked up as they appear.
   void WatchRegistry(const MetricsRegistry* registry);
+
+  // Drains every histogram's exemplar reservoir in `registry` (caller-owned,
+  // mutable — TakeExemplars resets the reservoirs) into each closing window.
+  // Usually the same registry as WatchRegistry; kept separate because
+  // scraping is read-only while harvesting consumes. Harvesting never
+  // schedules events or draws randomness, so digest-neutrality holds.
+  void HarvestExemplars(MetricsRegistry* registry);
 
   // Pull probes for layers without a registry. The callback is invoked at
   // every window close; it must be read-only and deterministic. A rate
@@ -156,6 +175,7 @@ class Monitor final : public sim::ClockObserver {
   sim::Simulation* sim_;
   MonitorConfig config_;
   const MetricsRegistry* registry_ = nullptr;
+  MetricsRegistry* exemplar_registry_ = nullptr;
   std::vector<Probe> probes_;
   std::vector<SeriesInfo> series_;
   std::map<std::string, std::size_t, std::less<>> series_by_name_;

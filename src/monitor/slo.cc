@@ -255,6 +255,8 @@ std::vector<SloResult> SloWatchdog::Evaluate() const {
       result.pass_fraction =
           static_cast<double>(result.windows_passed) /
           static_cast<double>(result.windows_evaluated);
+    } else {
+      result.vacuous = true;
     }
     result.satisfied = result.pass_fraction >= rule.min_pass_fraction;
     results.push_back(std::move(result));
@@ -269,7 +271,8 @@ void SloWatchdog::PrintResults(const std::vector<SloResult>& results,
                "required %", "worst", "worst window"});
   for (const SloResult& result : results) {
     table.AddRow({result.rule.text,
-                  result.satisfied ? "PASS" : "FAIL",
+                  result.vacuous ? "VACUOUS"
+                                 : (result.satisfied ? "PASS" : "FAIL"),
                   Table::Int(result.windows_evaluated),
                   Table::Int(result.windows_passed),
                   Table::Num(result.pass_fraction * 100.0, 2),

@@ -78,6 +78,11 @@ struct SloResult {
   std::size_t windows_passed = 0;
   double pass_fraction = 1.0;
   bool satisfied = true;
+  // No window was ever evaluated: the guard never matched, or a named
+  // series does not exist. `satisfied` stays true (absence of evidence is
+  // not a violation) but reports print VACUOUS instead of PASS — a rule
+  // that never fires is usually a typo, not a healthy cluster.
+  bool vacuous = false;
   double worst_value = 0.0;           // most-violating term value seen
   std::size_t worst_window = 0;
   std::vector<SloViolation> violations;  // every failing window, in order

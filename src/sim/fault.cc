@@ -85,10 +85,26 @@ std::vector<FaultEvent> GenerateFaultSchedule(
   return events;
 }
 
+std::vector<FaultEvent> OverlappingFaults(const std::vector<FaultEvent>&
+                                              events,
+                                          SimTime t_begin, SimTime t_end) {
+  std::vector<FaultEvent> active;
+  for (const FaultEvent& event : events) {
+    // Half-open vs half-open: [start, start+duration) ∩ [t_begin, t_end)
+    // must be non-empty — max(starts) < min(ends), which also rejects
+    // empty query windows and zero-duration events.
+    const SimTime lo = std::max(event.start, t_begin);
+    const SimTime hi = std::min(event.start + event.duration, t_end);
+    if (lo < hi) active.push_back(event);
+  }
+  return active;
+}
+
 FaultInjector::FaultInjector(Simulation& sim, FaultHooks hooks)
     : sim_(sim), hooks_(std::move(hooks)) {}
 
 void FaultInjector::Schedule(const FaultEvent& event) {
+  scheduled_.push_back(event);
   horizon_ = std::max(horizon_, event.start + event.duration);
   sim_.ScheduleAt(event.start, [this, event] { Apply(event); });
   sim_.ScheduleAt(event.start + event.duration, [this, event] {

@@ -117,6 +117,13 @@ struct FaultScheduleConfig {
 std::vector<FaultEvent> GenerateFaultSchedule(const FaultScheduleConfig&
                                                   config);
 
+// Events whose active interval [start, start + duration) overlaps the
+// half-open query range [t_begin, t_end), in schedule order. Zero-duration
+// events never overlap anything (applied and reverted at the same instant).
+std::vector<FaultEvent> OverlappingFaults(const std::vector<FaultEvent>&
+                                              events,
+                                          SimTime t_begin, SimTime t_end);
+
 class FaultInjector {
  public:
   FaultInjector(Simulation& sim, FaultHooks hooks);
@@ -130,6 +137,15 @@ class FaultInjector {
   // Time at which the last scheduled fault has been reverted (the earliest
   // moment the cluster is guaranteed healthy again).
   SimTime horizon() const { return horizon_; }
+
+  // Every event ever passed to Schedule/ScheduleAll, in scheduling order.
+  const std::vector<FaultEvent>& scheduled() const { return scheduled_; }
+
+  // Read-only query: scheduled events active at any point of [t_begin,
+  // t_end) — the incident flight recorder asks this for a violating window.
+  std::vector<FaultEvent> ActiveFaults(SimTime t_begin, SimTime t_end) const {
+    return OverlappingFaults(scheduled_, t_begin, t_end);
+  }
 
  private:
   void Apply(const FaultEvent& event);
@@ -151,6 +167,7 @@ class FaultInjector {
   FaultHooks hooks_;
   FaultInjectorStats stats_;
   SimTime horizon_ = 0;
+  std::vector<FaultEvent> scheduled_;
   std::unordered_map<std::uint32_t, std::uint32_t> down_depth_;
   // Restart wipes if ANY overlapping crash episode asked for a wipe.
   std::unordered_map<std::uint32_t, bool> wipe_pending_;

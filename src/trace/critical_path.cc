@@ -48,8 +48,8 @@ class Walker {
 
  private:
   void Emit(const SpanRecord& span, sim::SimTime begin, sim::SimTime end) {
-    out_->segments.push_back(
-        PathSegment{begin, end, span.span_id, span.name, span.category});
+    out_->segments.push_back(PathSegment{begin, end, span.span_id, span.name,
+                                         span.category, span.node});
     out_->attributed += end - begin;
   }
 
@@ -76,10 +76,30 @@ std::vector<PathShare> Aggregate(
   return out;
 }
 
+std::vector<NodePathShare> AggregateNodes(
+    const std::vector<PathSegment>& segments) {
+  std::map<std::uint32_t, NodePathShare> shares;
+  for (const PathSegment& segment : segments) {
+    NodePathShare& share = shares[segment.node];
+    share.node = segment.node;
+    share.nanos += segment.nanos();
+    ++share.segments;
+  }
+  std::vector<NodePathShare> out;
+  out.reserve(shares.size());
+  for (auto& [node, share] : shares) out.push_back(share);
+  std::sort(out.begin(), out.end(),
+            [](const NodePathShare& a, const NodePathShare& b) {
+              if (a.nanos != b.nanos) return a.nanos > b.nanos;
+              return a.node < b.node;
+            });
+  return out;
+}
+
 }  // namespace
 
 CriticalPath ExtractCriticalPath(const std::deque<SpanRecord>& spans,
-                                 TraceId trace) {
+                                 TraceId trace, SpanId root_span) {
   CriticalPath path;
 
   std::unordered_map<SpanId, TreeNode> nodes;
@@ -93,8 +113,13 @@ CriticalPath ExtractCriticalPath(const std::deque<SpanRecord>& spans,
       auto parent = nodes.find(node.span->parent_id);
       if (parent != nodes.end()) {
         parent->second.children.push_back(&node);
-        continue;
       }
+    }
+    if (root_span != 0) {
+      // Subtree mode: the caller names the root (an exemplar operation
+      // inside a workflow trace).
+      if (node.span->span_id == root_span) root = node.span;
+      continue;
     }
     // Root candidate: no parent recorded. Prefer the true root (parent 0)
     // with the lowest span id for determinism.
@@ -124,6 +149,7 @@ CriticalPath ExtractCriticalPath(const std::deque<SpanRecord>& spans,
   std::reverse(path.segments.begin(), path.segments.end());
   path.by_category = Aggregate(path.segments, &PathSegment::category);
   path.by_name = Aggregate(path.segments, &PathSegment::name);
+  path.by_node = AggregateNodes(path.segments);
   return path;
 }
 

@@ -33,6 +33,10 @@ struct PathSegment {
   SpanId span_id = 0;
   std::string name;
   std::string category;
+  // Node of the covering span (server-side spans are attributed to the
+  // server node via ChildOn, so per-node aggregation splits client from
+  // server time).
+  std::uint32_t node = 0;
 
   sim::SimTime nanos() const { return end - begin; }
 };
@@ -40,6 +44,13 @@ struct PathSegment {
 // Aggregated share of the critical path (per category or per span name).
 struct PathShare {
   std::string label;
+  sim::SimTime nanos = 0;
+  std::uint64_t segments = 0;
+};
+
+// Aggregated share of the critical path spent on one node.
+struct NodePathShare {
+  std::uint32_t node = 0;
   sim::SimTime nanos = 0;
   std::uint64_t segments = 0;
 };
@@ -54,6 +65,7 @@ struct CriticalPath {
   std::vector<PathSegment> segments;   // time order, begin ascending
   std::vector<PathShare> by_category;  // descending time
   std::vector<PathShare> by_name;      // descending time
+  std::vector<NodePathShare> by_node;  // descending time, node ascending tie
 
   sim::SimTime window() const { return window_end - window_start; }
   double AttributedFraction() const {
@@ -63,11 +75,17 @@ struct CriticalPath {
   }
 };
 
+// Extracts the path through the whole trace (root = the span with no
+// parent), or — with a nonzero `root_span` — through the subtree rooted at
+// that span (the incident flight recorder runs this over one exemplar
+// operation inside a larger workflow trace). An unknown/unfinished root
+// yields `found == false`.
 CriticalPath ExtractCriticalPath(const std::deque<SpanRecord>& spans,
-                                 TraceId trace);
+                                 TraceId trace, SpanId root_span = 0);
 
-inline CriticalPath ExtractCriticalPath(const Tracer& tracer, TraceId trace) {
-  return ExtractCriticalPath(tracer.finished(), trace);
+inline CriticalPath ExtractCriticalPath(const Tracer& tracer, TraceId trace,
+                                        SpanId root_span = 0) {
+  return ExtractCriticalPath(tracer.finished(), trace, root_span);
 }
 
 // Renders the per-layer attribution table and the top-N span names (the

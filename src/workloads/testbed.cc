@@ -87,11 +87,14 @@ Testbed::Testbed(FsKind kind, TestbedConfig config)
       server_config.memory_limit = units::GiB(4096);
       server_config.max_object_size = units::GiB(1);
     }
-    client_config.metrics = config_.metrics;
+    // TestbedConfig::metrics is a convenience override: honour a registry
+    // already wired into the nested MemFsConfig instead of silently
+    // clobbering it with null (or with a second registry).
+    if (config_.metrics != nullptr) client_config.metrics = config_.metrics;
     if (config_.elastic) client_config.use_ketama = true;
     storage_ = std::make_unique<kv::KvCluster>(
         sim_, *network_, std::move(server_nodes), server_config, costs,
-        config_.metrics, config_.kv_policy);
+        client_config.metrics, config_.kv_policy);
     memfs_ = std::make_unique<fs::MemFs>(sim_, *network_, *storage_,
                                          client_config);
     if (config_.elastic && kind_ == FsKind::kMemFs) {

@@ -219,6 +219,86 @@ TEST(FaultInjectorTest, GeneratedScheduleIsDeterministicPerSeed) {
   EXPECT_TRUE(any_difference);
 }
 
+// --- Overlap queries (the incident flight recorder's view) ---------------
+
+TEST(FaultOverlapTest, HalfOpenIntervalBoundaries) {
+  // One crash active over [100, 200).
+  sim::FaultEvent crash;
+  crash.kind = sim::FaultKind::kServerCrash;
+  crash.start = 100;
+  crash.duration = 100;
+  crash.server = 3;
+  const std::vector<sim::FaultEvent> events = {crash};
+
+  // Query ending exactly at the fault's start does not overlap...
+  EXPECT_TRUE(sim::OverlappingFaults(events, 0, 100).empty());
+  // ...but one that includes the first active instant does.
+  EXPECT_EQ(sim::OverlappingFaults(events, 0, 101).size(), 1u);
+  // Query starting exactly at the fault's end (start + duration) misses it.
+  EXPECT_TRUE(sim::OverlappingFaults(events, 200, 300).empty());
+  // Query starting on the last active instant catches it.
+  EXPECT_EQ(sim::OverlappingFaults(events, 199, 300).size(), 1u);
+  // A window fully inside the episode overlaps.
+  EXPECT_EQ(sim::OverlappingFaults(events, 140, 160).size(), 1u);
+  // A window enclosing the episode overlaps.
+  EXPECT_EQ(sim::OverlappingFaults(events, 0, 1000).size(), 1u);
+}
+
+TEST(FaultOverlapTest, FiltersAndPreservesScheduleOrder) {
+  sim::FaultEvent early;   // [0, 50)
+  early.start = 0;
+  early.duration = 50;
+  early.server = 0;
+  sim::FaultEvent mid;     // [40, 120)
+  mid.kind = sim::FaultKind::kServerSlow;
+  mid.start = 40;
+  mid.duration = 80;
+  mid.server = 1;
+  sim::FaultEvent late;    // [500, 600)
+  late.kind = sim::FaultKind::kLinkFault;
+  late.start = 500;
+  late.duration = 100;
+  const std::vector<sim::FaultEvent> events = {early, mid, late};
+
+  const auto active = sim::OverlappingFaults(events, 45, 110);
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].server, 0u);
+  EXPECT_EQ(active[1].server, 1u);
+  EXPECT_TRUE(sim::OverlappingFaults(events, 120, 500).empty());
+  // Empty query window [t, t) overlaps nothing.
+  EXPECT_TRUE(sim::OverlappingFaults(events, 45, 45).empty());
+}
+
+TEST(FaultInjectorTest, ActiveFaultsReflectsScheduledEvents) {
+  sim::Simulation sim;
+  HookLog log;
+  sim::FaultInjector injector(sim, RecordingHooks(sim, log));
+
+  sim::FaultEvent crash;
+  crash.kind = sim::FaultKind::kServerCrash;
+  crash.start = 10;
+  crash.duration = 20;  // [10, 30)
+  crash.server = 2;
+  sim::FaultEvent slow;
+  slow.kind = sim::FaultKind::kServerSlow;
+  slow.start = 25;
+  slow.duration = 25;  // [25, 50)
+  slow.server = 4;
+  slow.slow_factor = 3.0;
+  injector.ScheduleAll({crash, slow});
+  sim.Run();
+
+  ASSERT_EQ(injector.scheduled().size(), 2u);
+  EXPECT_EQ(injector.ActiveFaults(0, 10).size(), 0u);
+  EXPECT_EQ(injector.ActiveFaults(0, 11).size(), 1u);
+  EXPECT_EQ(injector.ActiveFaults(26, 29).size(), 2u);
+  EXPECT_EQ(injector.ActiveFaults(30, 50).size(), 1u);
+  EXPECT_EQ(injector.ActiveFaults(50, 90).size(), 0u);
+  // The query is read-only over the recorded schedule: it still answers
+  // after the run, and repeated calls agree.
+  EXPECT_EQ(injector.ActiveFaults(26, 29).size(), 2u);
+}
+
 // --- Client-side fault handling against a live cluster -------------------
 
 class FaultClusterTest : public ::testing::Test {

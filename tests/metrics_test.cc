@@ -137,6 +137,90 @@ TEST(LatencyHistogramTest, MergePreservesMinMaxWhenEitherSideEmpty) {
   EXPECT_DOUBLE_EQ(still_empty.PercentileNanos(0.5), 0.0);
 }
 
+// --- Exemplar reservoir ---
+
+Exemplar Tagged(std::uint64_t nanos, std::uint64_t trace_id,
+                std::uint64_t span_id, std::uint64_t at) {
+  Exemplar tag;
+  tag.nanos = nanos;
+  tag.trace_id = trace_id;
+  tag.span_id = span_id;
+  tag.at = at;
+  return tag;
+}
+
+TEST(ExemplarTest, PlainRecordLeavesReservoirEmpty) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(2000);
+  EXPECT_TRUE(h.exemplars().empty());
+  EXPECT_TRUE(h.TakeExemplars().empty());
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ExemplarTest, KeepsWorstKWorstFirst) {
+  LatencyHistogram h;
+  // 2 * capacity samples with distinct latencies 1..16 (in mixed order).
+  for (std::uint64_t n : {9, 2, 16, 5, 12, 1, 7, 14, 3, 10, 6, 13, 4, 15, 8,
+                          11}) {
+    h.Record(n, Tagged(n, /*trace_id=*/n, /*span_id=*/n, /*at=*/n));
+  }
+  const std::vector<Exemplar> kept = h.TakeExemplars();
+  ASSERT_EQ(kept.size(), LatencyHistogram::kExemplarCapacity);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].nanos, 16u - i) << i;  // 16, 15, ..., 9 worst-first
+  }
+  // Sample counting is unaffected by reservoir eviction.
+  EXPECT_EQ(h.count(), 16u);
+}
+
+TEST(ExemplarTest, TakeDrainsAndResetsForNextWindow) {
+  LatencyHistogram h;
+  h.Record(100, Tagged(100, 1, 1, 10));
+  ASSERT_EQ(h.TakeExemplars().size(), 1u);
+  EXPECT_TRUE(h.exemplars().empty());
+  // A fresh window retains fresh samples, even smaller ones.
+  h.Record(50, Tagged(50, 2, 2, 20));
+  const std::vector<Exemplar> next = h.TakeExemplars();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].trace_id, 2u);
+}
+
+TEST(ExemplarTest, TieBreakIsDeterministic) {
+  // Equal latencies: earlier completion wins, then smaller trace id, then
+  // smaller span id — insertion order must not matter.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  const std::vector<Exemplar> samples = {
+      Tagged(500, 3, 1, 7), Tagged(500, 2, 9, 7), Tagged(500, 2, 4, 7),
+      Tagged(500, 8, 8, 3), Tagged(900, 1, 1, 50),
+  };
+  for (const Exemplar& s : samples) a.Record(s.nanos, s);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    b.Record(it->nanos, *it);
+  }
+  const std::vector<Exemplar> from_a = a.TakeExemplars();
+  const std::vector<Exemplar> from_b = b.TakeExemplars();
+  ASSERT_EQ(from_a.size(), samples.size());
+  ASSERT_EQ(from_b.size(), samples.size());
+  for (std::size_t i = 0; i < from_a.size(); ++i) {
+    EXPECT_EQ(from_a[i].trace_id, from_b[i].trace_id) << i;
+    EXPECT_EQ(from_a[i].span_id, from_b[i].span_id) << i;
+  }
+  EXPECT_EQ(from_a[0].nanos, 900u);           // worst latency first
+  EXPECT_EQ(from_a[1].at, 3u);                // then earliest completion
+  EXPECT_EQ(from_a[2].trace_id, 2u);          // then smallest trace id...
+  EXPECT_EQ(from_a[2].span_id, 4u);           // ...and smallest span id
+  EXPECT_EQ(from_a[3].span_id, 9u);
+  EXPECT_EQ(from_a[4].trace_id, 3u);
+}
+
+TEST(ExemplarTest, UntaggedFieldsDefaultToNoServer) {
+  Exemplar tag;
+  EXPECT_EQ(tag.server, kNoExemplarServer);
+  EXPECT_EQ(tag.trace_id, 0u);
+}
+
 // --- MetricsRegistry ---
 
 TEST(MetricsRegistryTest, HistogramsPersistByName) {

@@ -446,7 +446,92 @@ TEST(SloTest, MissingSeriesSkipsWindowsNotWholeRule) {
   const std::vector<SloResult> results = watchdog.Evaluate();
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].windows_evaluated, 0u);
-  EXPECT_TRUE(results[0].satisfied);  // vacuous
+  EXPECT_TRUE(results[0].satisfied);  // absence of evidence: not a failure
+  EXPECT_TRUE(results[0].vacuous);    // ...but flagged, not silently passing
+}
+
+// --- SLO grammar edge cases ---
+
+TEST(SloTest, MalformedRulesAreRejectedWithError) {
+  const char* const kBad[] = {
+      "",                              // empty
+      "skew(mem)",                     // no comparison
+      "skew(mem) <",                   // missing threshold
+      "skew(mem) < banana",            // non-numeric threshold
+      "skew mem < 1.25",               // missing parentheses
+      "skew(mem < 1.25",               // unbalanced parenthesis
+      "skew() < 1.25",                 // empty argument
+      "skew(mem) == 1.25",             // unsupported operator
+      "skew(mem) < 1.25 when",         // dangling guard
+      "skew(mem) < 1.25 when cv(mem)", // guard without comparison
+      "skew(mem) < 1.25 for",          // dangling for-clause
+      "skew(mem) < 1.25 for pct% of windows",  // non-numeric percentage
+      "skew(mem) < 1.25 for 95%",      // truncated for-clause
+  };
+  for (const char* text : kBad) {
+    std::string error;
+    EXPECT_FALSE(ParseSloRule(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(SloTest, UnknownFunctionIsAParseError) {
+  std::string error;
+  EXPECT_FALSE(ParseSloRule("median(mem) < 1.25", &error).has_value());
+  EXPECT_NE(error.find("median"), std::string::npos) << error;
+  SloFixture fx;
+  SloWatchdog watchdog(fx.mon);
+  EXPECT_FALSE(watchdog.AddRule("median(mem) < 1.25", &error));
+  EXPECT_TRUE(watchdog.rules().empty());
+}
+
+TEST(SloTest, NeverMatchingGuardIsVacuousNotPassing) {
+  SloFixture fx;
+  SloWatchdog watchdog(fx.mon);
+  // busy never exceeds 5, so the guard excludes every window.
+  ASSERT_TRUE(watchdog.AddRule("skew(mem) < 1.25 when value(busy) > 5"));
+  const std::vector<SloResult> results = watchdog.Evaluate();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].windows_evaluated, 0u);
+  EXPECT_TRUE(results[0].satisfied);
+  EXPECT_TRUE(results[0].vacuous);
+  std::ostringstream report;
+  SloWatchdog::PrintResults(results, report, /*csv=*/false);
+  EXPECT_NE(report.str().find("VACUOUS"), std::string::npos) << report.str();
+  EXPECT_EQ(report.str().find("PASS"), std::string::npos) << report.str();
+}
+
+TEST(SloTest, ForClauseWithZeroEvaluatedWindowsIsVacuous) {
+  // A monitor that closed no windows at all: `for P%` has an empty
+  // denominator and must report VACUOUS rather than claim a pass rate.
+  sim::Simulation sim;
+  MonitorConfig config;
+  config.interval = 10;
+  Monitor mon(sim, config);
+  sim.Run();  // nothing scheduled: no window ever closes
+  ASSERT_TRUE(mon.windows().empty());
+  SloWatchdog watchdog(mon);
+  ASSERT_TRUE(watchdog.AddRule("skew(mem) < 1.25 for 95% of windows"));
+  const std::vector<SloResult> results = watchdog.Evaluate();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].windows_evaluated, 0u);
+  EXPECT_DOUBLE_EQ(results[0].pass_fraction, 1.0);
+  EXPECT_TRUE(results[0].satisfied);
+  EXPECT_TRUE(results[0].vacuous);
+}
+
+TEST(SloTest, SatisfiedViolatedRuleIsNotVacuous) {
+  SloFixture fx;
+  SloWatchdog watchdog(fx.mon);
+  ASSERT_TRUE(watchdog.AddRule("skew(mem) < 1.25"));  // fails windows 1,2
+  const std::vector<SloResult> results = watchdog.Evaluate();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].satisfied);
+  EXPECT_FALSE(results[0].vacuous);
+  std::ostringstream report;
+  SloWatchdog::PrintResults(results, report, /*csv=*/false);
+  EXPECT_NE(report.str().find("FAIL"), std::string::npos) << report.str();
+  EXPECT_EQ(report.str().find("VACUOUS"), std::string::npos) << report.str();
 }
 
 }  // namespace

@@ -57,6 +57,59 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST(TestbedTest, NestedMetricsRegistrySurvivesConstruction) {
+  // Regression: a registry wired into TestbedConfig::memfs.metrics used to
+  // be silently clobbered by the (null) TestbedConfig::metrics override, so
+  // callers got an empty registry back. The override must only fire when a
+  // top-level registry is actually supplied.
+  MetricsRegistry nested;
+  TestbedConfig config;
+  config.nodes = 4;
+  config.memfs.metrics = &nested;
+  Testbed bed(FsKind::kMemFs, config);
+
+  EnvelopeParams params;
+  params.nodes = 4;
+  params.file_size = KiB(64);
+  params.files_per_proc = 1;
+  EnvelopeBench bench(bed.simulation(), bed.vfs(), params, bed.amfs());
+  bench.RunWrite();
+
+  const auto vfs_write = nested.all().find("vfs.write");
+  ASSERT_NE(vfs_write, nested.all().end());
+  EXPECT_GT(vfs_write->second.count(), 0u);
+  // The shared registry reaches the storage layer too (kv.* histograms).
+  bool any_kv = false;
+  for (const auto& [name, histogram] : nested.all()) {
+    if (name.rfind("kv.", 0) == 0 && histogram.count() > 0) any_kv = true;
+  }
+  EXPECT_TRUE(any_kv);
+}
+
+TEST(TestbedTest, TopLevelMetricsOverrideStillWins) {
+  // When both registries are supplied the top-level one takes precedence
+  // (documented override semantics) and the nested one stays untouched.
+  MetricsRegistry nested;
+  MetricsRegistry top;
+  TestbedConfig config;
+  config.nodes = 4;
+  config.memfs.metrics = &nested;
+  config.metrics = &top;
+  Testbed bed(FsKind::kMemFs, config);
+
+  EnvelopeParams params;
+  params.nodes = 4;
+  params.file_size = KiB(64);
+  params.files_per_proc = 1;
+  EnvelopeBench bench(bed.simulation(), bed.vfs(), params, bed.amfs());
+  bench.RunWrite();
+
+  const auto vfs_write = top.all().find("vfs.write");
+  ASSERT_NE(vfs_write, top.all().end());
+  EXPECT_GT(vfs_write->second.count(), 0u);
+  EXPECT_EQ(nested.all().find("vfs.write"), nested.all().end());
+}
+
 TEST(TestbedTest, WaterfillModelSelectable) {
   TestbedConfig config;
   config.nodes = 2;

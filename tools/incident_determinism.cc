@@ -1,0 +1,345 @@
+// Incident flight-recorder determinism gate: proves diagnosis is post-hoc.
+//
+// The flight recorder (src/diagnose) closes the monitor -> trace -> fault ->
+// verdict loop: exemplars tagged at the latency-recording sites, trigger
+// scanning over closed windows, critical-path attribution over exemplar
+// span subtrees. None of that may perturb the simulation: every piece is
+// read-only analysis over already-recorded state. This audit double-runs an
+// 8-node faulted MemFS workload (crashes with wipe, a slow episode, a lossy
+// link; replication 2) in two configurations:
+//
+//   bare      — MetricsRegistry wired into every layer, no monitor, no
+//               tracer: the reference digest with diagnosis off;
+//   diagnosed — same wiring plus Monitor + exemplar harvesting + Tracer
+//               (one root trace per file workflow) + SLO watchdog +
+//               FlightRecorder, incidents exported as JSON.
+//
+// and asserts:
+//   * diagnosed runs are self-deterministic: same digest AND byte-identical
+//     incident JSON across same-seed runs;
+//   * diagnosed digest == bare digest — monitoring + tracing + diagnosing
+//     adds no events, consumes no randomness;
+//   * a different fault seed changes the digest (the digest is live);
+//   * the faulted run yields at least one incident whose top-ranked cause
+//     is a server the fault schedule actually targeted, with at least one
+//     attributed exemplar trace crossing that server — the end-to-end
+//     root-cause acceptance criterion;
+//   * SimChecker stays clean in every configuration.
+//
+// Exit status: 0 on pass, 1 on any mismatch. Registered as the
+// `incident_determinism` ctest.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "diagnose/diagnose.h"
+#include "kvstore/kv_cluster.h"
+#include "memfs/memfs.h"
+#include "monitor/monitor.h"
+#include "monitor/probes.h"
+#include "monitor/slo.h"
+#include "net/fluid_network.h"
+#include "sim/checker.h"
+#include "sim/fault.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "trace/trace.h"
+
+namespace memfs {
+namespace {
+
+using units::KiB;
+using units::Millis;
+
+constexpr std::uint32_t kNodes = 8;
+constexpr std::uint32_t kFiles = 16;
+
+sim::Task WriteFile(sim::Simulation& sim, fs::Vfs& vfs, trace::Tracer* tracer,
+                    sim::SimTime start, std::uint32_t node, std::string path,
+                    std::uint64_t seed, std::uint8_t& ok) {
+  co_await sim.Delay(start);
+  fs::VfsContext ctx{node, 0};
+  trace::TraceContext root;
+  if (tracer != nullptr) {
+    root = tracer->StartTrace("write " + path, "workflow", node);
+    ctx.trace = root;
+  }
+  auto created = co_await vfs.Create(ctx, path);
+  if (created.ok()) {
+    const Status wrote = co_await vfs.Write(ctx, created.value(),
+                                            Bytes::Synthetic(KiB(256), seed));
+    const Status closed = co_await vfs.Close(ctx, created.value());
+    ok = wrote.ok() && closed.ok();
+  }
+  trace::End(root);
+}
+
+sim::Task ReadFile(fs::Vfs& vfs, trace::Tracer* tracer, std::uint32_t node,
+                   std::string path, std::uint8_t& done) {
+  fs::VfsContext ctx{node, 0};
+  trace::TraceContext root;
+  if (tracer != nullptr) {
+    root = tracer->StartTrace("read " + path, "workflow", node);
+    ctx.trace = root;
+  }
+  auto opened = co_await vfs.Open(ctx, path);
+  if (opened.ok()) {
+    Bytes out;
+    while (true) {
+      auto chunk =
+          co_await vfs.Read(ctx, opened.value(), out.size(), KiB(256));
+      if (!chunk.ok()) break;
+      if (chunk->empty()) {
+        done = 1;
+        break;
+      }
+      out.Append(*chunk);
+    }
+    // lint: allow(ignored-status) read handle teardown cannot fail usefully
+    co_await vfs.Close(ctx, opened.value());
+  }
+  trace::End(root);
+}
+
+struct AuditRun {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::string checker_summary;  // empty when the checker is clean
+  // Diagnosed runs only:
+  std::string json;                  // FlightRecorder::WriteJson byte stream
+  std::size_t incidents = 0;
+  std::size_t exemplars = 0;         // attributed exemplars across incidents
+  bool cause_is_faulted = false;     // some incident's top cause was a fault
+                                     // target...
+  bool exemplar_crosses_cause = false;  // ...with an exemplar trace through
+                                        // that same server
+};
+
+AuditRun RunOnce(std::uint64_t seed, bool diagnosed) {
+  sim::Simulation sim;
+  sim::SimChecker checker(sim);
+  net::FairShareNetwork network(sim, net::Das4Ipoib(kNodes));
+
+  auto metrics = std::make_unique<MetricsRegistry>();
+
+  kv::KvClientPolicy policy;
+  policy.retry.max_attempts = 5;
+  policy.op_deadline = Millis(20);
+
+  std::vector<net::NodeId> server_nodes;
+  for (std::uint32_t n = 0; n < kNodes; ++n) server_nodes.push_back(n);
+  kv::KvCluster storage(sim, network, std::move(server_nodes),
+                        kv::KvServerConfig{}, kv::KvOpCostModel{},
+                        metrics.get(), policy);
+  fs::MemFsConfig config;
+  config.replication = 2;
+  config.metrics = metrics.get();
+  fs::MemFs memfs(sim, network, storage, config);
+
+  std::unique_ptr<monitor::Monitor> mon;
+  std::unique_ptr<trace::Tracer> tracer;
+  if (diagnosed) {
+    monitor::MonitorConfig monitor_config;
+    monitor_config.interval = Millis(1);
+    mon = std::make_unique<monitor::Monitor>(sim, monitor_config);
+    mon->WatchRegistry(metrics.get());
+    mon->HarvestExemplars(metrics.get());
+    monitor::AttachNetworkProbes(*mon, network);
+    tracer = std::make_unique<trace::Tracer>(sim);
+  }
+
+  sim::FaultHooks hooks;
+  hooks.set_server_down = [&storage](std::uint32_t server, bool down,
+                                     bool wipe) {
+    storage.SetServerDown(server, down, wipe);
+  };
+  hooks.set_server_slowdown = [&storage](std::uint32_t server, double factor) {
+    storage.SetServerSlowdown(server, factor);
+  };
+  hooks.set_link_fault = [&network](std::uint32_t src, std::uint32_t dst,
+                                    double loss, sim::SimTime extra) {
+    network.SetLinkFault(src, dst, {loss, extra});
+  };
+  hooks.clear_link_fault = [&network](std::uint32_t src, std::uint32_t dst) {
+    network.ClearLinkFault(src, dst);
+  };
+  sim::FaultInjector injector(sim, std::move(hooks));
+
+  sim::FaultScheduleConfig schedule;
+  schedule.seed = seed;
+  schedule.servers = kNodes;
+  schedule.nodes = kNodes;
+  schedule.horizon = Millis(48);
+  schedule.crashes = 2;
+  schedule.slow_episodes = 1;
+  schedule.link_faults = 1;
+  injector.ScheduleAll(sim::GenerateFaultSchedule(schedule));
+
+  std::vector<std::uint8_t> write_ok(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+    WriteFile(sim, memfs, tracer.get(), Millis(3) * i, i % kNodes,
+              "/inc_" + std::to_string(i), 9000 + i, write_ok[i]);
+  }
+  sim.Run();
+
+  std::vector<std::uint8_t> read_done(kFiles, 0);
+  for (std::uint32_t i = 0; i < kFiles; ++i) {
+    // lint: allow(ignored-status) fire-and-forget sim::Task, not a Status
+    ReadFile(memfs, tracer.get(), i % kNodes, "/inc_" + std::to_string(i),
+             read_done[i]);
+  }
+  sim.Run();
+
+  AuditRun run;
+  run.digest = sim.EventDigest();
+  run.events = sim.events_processed();
+  checker.Finish();
+  run.checker_summary = checker.Summary();
+
+  if (diagnosed) {
+    mon->Finish();
+
+    monitor::SloWatchdog watchdog(*mon);
+    (void)watchdog.AddRule("skew(kv.mem_bytes) < 1.25 for 95% of windows");
+    (void)watchdog.AddRule(
+        "sum(vfs.write.rate) > 0 when sum(io.queued) > 0 for 100% of "
+        "windows");
+
+    diagnose::FlightRecorder recorder(*mon);
+    recorder.SetSloResults(watchdog.Evaluate());
+    recorder.SetTracer(tracer.get());
+    recorder.SetFaults(injector.scheduled());
+    const std::vector<diagnose::Incident> incidents = recorder.Diagnose();
+    run.incidents = incidents.size();
+
+    std::ostringstream json;
+    diagnose::FlightRecorder::WriteJson(incidents, json);
+    run.json = json.str();
+
+    // Servers the fault schedule actually touched (link faults implicate
+    // both endpoints).
+    std::set<std::uint32_t> faulted;
+    for (const sim::FaultEvent& event : injector.scheduled()) {
+      if (event.kind == sim::FaultKind::kLinkFault) {
+        faulted.insert(event.src);
+        faulted.insert(event.dst);
+      } else {
+        faulted.insert(event.server);
+      }
+    }
+    for (const diagnose::Incident& incident : incidents) {
+      for (const diagnose::ExemplarAttribution& exemplar :
+           incident.exemplars) {
+        if (exemplar.path.found) ++run.exemplars;
+      }
+      if (incident.causes.empty()) continue;
+      const std::uint32_t top = incident.causes.front().server;
+      if (faulted.count(top) == 0) continue;
+      run.cause_is_faulted = true;
+      for (const diagnose::ExemplarAttribution& exemplar :
+           incident.exemplars) {
+        if (exemplar.exemplar.sample.server == top) {
+          run.exemplar_crosses_cause = true;
+        }
+        for (const diagnose::ServerPathShare& share : exemplar.by_server) {
+          if (share.server == top && share.nanos > 0) {
+            run.exemplar_crosses_cause = true;
+          }
+        }
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace
+}  // namespace memfs
+
+int main() {
+  const auto bare = memfs::RunOnce(7, /*diagnosed=*/false);
+  const auto diag1 = memfs::RunOnce(7, /*diagnosed=*/true);
+  const auto diag2 = memfs::RunOnce(7, /*diagnosed=*/true);
+  const auto other = memfs::RunOnce(8, /*diagnosed=*/true);
+
+  std::printf("bare      (seed 7): digest=%016llx events=%llu\n",
+              static_cast<unsigned long long>(bare.digest),
+              static_cast<unsigned long long>(bare.events));
+  std::printf("diagnosed (seed 7): digest=%016llx events=%llu incidents=%zu "
+              "attributed_exemplars=%zu json_bytes=%zu\n",
+              static_cast<unsigned long long>(diag1.digest),
+              static_cast<unsigned long long>(diag1.events), diag1.incidents,
+              diag1.exemplars, diag1.json.size());
+  std::printf("diagnosed (seed 7): digest=%016llx incidents=%zu\n",
+              static_cast<unsigned long long>(diag2.digest),
+              diag2.incidents);
+  std::printf("diagnosed (seed 8): digest=%016llx\n",
+              static_cast<unsigned long long>(other.digest));
+
+  bool failed = false;
+  if (diag1.digest != diag2.digest) {
+    std::fprintf(stderr,
+                 "FAIL: same-seed diagnosed runs diverged — nondeterminism "
+                 "in the diagnosed event stream\n");
+    failed = true;
+  }
+  if (diag1.json != diag2.json) {
+    std::fprintf(stderr,
+                 "FAIL: same-seed diagnosed runs exported different incident "
+                 "JSON\n");
+    failed = true;
+  }
+  if (diag1.digest != bare.digest) {
+    std::fprintf(stderr,
+                 "FAIL: diagnosis changed the event digest — monitoring + "
+                 "tracing + the flight recorder must be pure observers\n");
+    failed = true;
+  }
+  if (diag1.digest == other.digest) {
+    std::fprintf(stderr,
+                 "FAIL: different fault seeds produced identical digests — "
+                 "the digest does not cover the schedule\n");
+    failed = true;
+  }
+  if (diag1.incidents == 0) {
+    std::fprintf(stderr,
+                 "FAIL: faulted run produced no incidents — the trigger "
+                 "engine never fired\n");
+    failed = true;
+  }
+  if (diag1.exemplars == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no exemplar was attributed — the exemplar -> trace "
+                 "link is broken\n");
+    failed = true;
+  }
+  if (!diag1.cause_is_faulted) {
+    std::fprintf(stderr,
+                 "FAIL: no incident ranked a fault-schedule target as its "
+                 "top cause\n");
+    failed = true;
+  }
+  if (!diag1.exemplar_crosses_cause) {
+    std::fprintf(stderr,
+                 "FAIL: no frozen exemplar trace crosses the top-attributed "
+                 "server\n");
+    failed = true;
+  }
+  for (const auto* run : {&bare, &diag1, &diag2, &other}) {
+    if (!run->checker_summary.empty()) {
+      std::fprintf(stderr, "FAIL: SimChecker findings:\n%s",
+                   run->checker_summary.c_str());
+      failed = true;
+    }
+  }
+  if (!failed) std::printf("incident determinism OK\n");
+  return failed ? 1 : 0;
+}

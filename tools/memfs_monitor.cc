@@ -27,6 +27,7 @@
 #include "common/metrics.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "diagnose/diagnose.h"
 #include "kvstore/membership.h"
 #include "kvstore/migrator.h"
 #include "meta/meta.h"
@@ -38,6 +39,7 @@
 #include "mtc/scheduler.h"
 #include "sim/fault.h"
 #include "sim/task.h"
+#include "trace/trace.h"
 #include "workloads/blast.h"
 #include "workloads/montage.h"
 #include "workloads/testbed.h"
@@ -71,6 +73,9 @@ constexpr const char* kHelp = R"(memfs_monitor — cluster monitoring timeline
   --json=FILE                         timeline JSON
   --violations=N                      violations listed per rule [10]
   --csv                               CSV tables
+  --incidents                         incident flight recorder [off]
+  --incidents-json=FILE               incident JSON export
+  --incident-p99-ms=N                 vfs.write p99 SLO bound (ms) [5]
 
 Default SLO rules:
   skew(kv.mem_bytes) < 1.25 for 95% of windows
@@ -141,6 +146,9 @@ int main(int argc, char** argv) {
   const auto violations =
       static_cast<std::size_t>(flags.GetUint("violations", 10));
   const bool csv = flags.GetBool("csv");
+  const bool incidents = flags.GetBool("incidents");
+  const std::string incidents_json = flags.GetString("incidents-json", "");
+  const auto incident_p99_ms = flags.GetUint("incident-p99-ms", 5);
 
   for (const auto& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag: --" << unknown << "\n" << kHelp;
@@ -194,6 +202,24 @@ int main(int argc, char** argv) {
   monitor::Monitor mon(bed.simulation(), monitor_config);
   mon.WatchRegistry(&metrics);
   monitor::AttachNetworkProbes(mon, bed.network());
+  std::unique_ptr<trace::Tracer> tracer;
+  if (incidents) {
+    // Flight recorder inputs: traced operations (for exemplar attribution),
+    // per-window exemplar harvests, and a cumulative write-p99 gauge the
+    // incident SLO below watches. All read-only over the run — the
+    // incident_determinism ctest pins digest neutrality.
+    tracer = std::make_unique<trace::Tracer>(bed.simulation());
+    mon.HarvestExemplars(&metrics);
+  }
+  if (incidents && !elastic) {
+    mon.AddGaugeProbe("vfs.write.p99_ms", [&metrics] {
+      const auto& histograms = metrics.all();
+      const auto it = histograms.find("vfs.write");
+      return it == histograms.end()
+                 ? 0.0
+                 : it->second.PercentileNanos(0.99) / 1e6;
+    });
+  }
   if (elastic) {
     // Cumulative write p99 as a gauge: the SLO below pins it while the
     // migrator streams keys between servers. Probes must be read-only, so
@@ -247,6 +273,7 @@ int main(int argc, char** argv) {
   runner_config.nodes = nodes;
   runner_config.cores_per_node = cores;
   runner_config.metrics = &metrics;
+  runner_config.tracer = tracer.get();
   mtc::Runner runner(bed.simulation(), bed.vfs(), scheduler, runner_config);
 
   const mtc::WorkflowResult result = runner.Run(workflow);
@@ -322,6 +349,11 @@ int main(int argc, char** argv) {
       (void)watchdog.AddRule(
           "value(vfs.write.p99_ms) < 50 for 95% of windows");
     }
+    if (incidents && !elastic) {
+      (void)watchdog.AddRule("value(vfs.write.p99_ms) < " +
+                             std::to_string(incident_p99_ms) +
+                             " for 95% of windows");
+    }
   }
   std::istringstream extra(slo_arg);
   std::string rule;
@@ -333,13 +365,33 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::vector<monitor::SloResult> slo_results;
   if (!watchdog.rules().empty()) {
     std::cout << "\n# SLO watchdog\n";
-    const std::vector<monitor::SloResult> results = watchdog.Evaluate();
-    monitor::SloWatchdog::PrintResults(results, std::cout, csv,
+    slo_results = watchdog.Evaluate();
+    monitor::SloWatchdog::PrintResults(slo_results, std::cout, csv,
                                        /*verbose=*/true, violations);
-    for (const monitor::SloResult& r : results) {
+    for (const monitor::SloResult& r : slo_results) {
       if (!r.satisfied) exit_code = 3;
+    }
+  }
+
+  if (incidents) {
+    diagnose::FlightRecorder recorder(mon);
+    recorder.SetSloResults(slo_results);
+    recorder.SetTracer(tracer.get());
+    if (injector != nullptr) recorder.SetFaults(injector->scheduled());
+    const std::vector<diagnose::Incident> found = recorder.Diagnose();
+    std::cout << "\n# incident flight recorder\n";
+    diagnose::FlightRecorder::Print(found, std::cout);
+    if (!incidents_json.empty()) {
+      std::ofstream file(incidents_json, std::ios::binary);
+      if (!file) {
+        std::cerr << "cannot open " << incidents_json << " for writing\n";
+        return 1;
+      }
+      diagnose::FlightRecorder::WriteJson(found, file);
+      std::cout << "incident JSON written to " << incidents_json << "\n";
     }
   }
 
